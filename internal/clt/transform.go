@@ -1,0 +1,57 @@
+package clt
+
+import "meshroute/internal/grid"
+
+// xform maps real mesh coordinates to "algorithm space", in which the
+// current pass's packets always travel north/east and the current phase is
+// always the Vertical Phase:
+//
+//   - the class reflection maps NW/SE/SW onto the NE orientation, and
+//   - the phase transpose turns the Horizontal Phase into a Vertical Phase
+//     on swapped axes.
+//
+// Both maps are involutions, so the same function converts back.
+type xform struct {
+	n         int
+	flipX     bool
+	flipY     bool
+	transpose bool
+}
+
+// newXform builds the transform for one (class, phase) combination.
+func newXform(n int, class Class, transposed bool) xform {
+	return xform{
+		n:         n,
+		flipX:     class == NW || class == SW,
+		flipY:     class == SE || class == SW,
+		transpose: transposed,
+	}
+}
+
+// to maps a real coordinate into algorithm space.
+func (x xform) to(c grid.Coord) grid.Coord {
+	if x.flipX {
+		c.X = x.n - 1 - c.X
+	}
+	if x.flipY {
+		c.Y = x.n - 1 - c.Y
+	}
+	if x.transpose {
+		c.X, c.Y = c.Y, c.X
+	}
+	return c
+}
+
+// from maps an algorithm-space coordinate back to the real mesh.
+func (x xform) from(c grid.Coord) grid.Coord {
+	if x.transpose {
+		c.X, c.Y = c.Y, c.X
+	}
+	if x.flipX {
+		c.X = x.n - 1 - c.X
+	}
+	if x.flipY {
+		c.Y = x.n - 1 - c.Y
+	}
+	return c
+}

@@ -1,0 +1,588 @@
+// Package experiments regenerates every result of the paper as a table:
+// one experiment per theorem/figure of the evaluation-relevant sections
+// (see DESIGN.md's per-experiment index). The cmd/experiments binary prints
+// these tables and EXPERIMENTS.md records them against the paper's claims.
+package experiments
+
+import (
+	"fmt"
+
+	"meshroute/internal/adversary"
+	"meshroute/internal/clt"
+	"meshroute/internal/dex"
+	"meshroute/internal/grid"
+	"meshroute/internal/par"
+	"meshroute/internal/routers"
+	"meshroute/internal/sim"
+	"meshroute/internal/stats"
+	"meshroute/internal/workload"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the experiment identifier (E1..E9, A1, A2).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table holds the measured rows.
+	Table *stats.Table
+	// Notes holds derived observations (fits, bound checks).
+	Notes []string
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	for _, n := range r.Notes {
+		s += "   " + n + "\n"
+	}
+	return s
+}
+
+func dimOrder() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) }
+func zigzag() sim.Algorithm   { return dex.NewAdapter(routers.ZigZag{}) }
+func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
+
+// E1 runs the Theorem 14 construction against the two destination-
+// exchangeable minimal routers and reports the forced lower bound and the
+// measured behavior of the constructed permutation.
+func E1(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E1",
+		Title: "Theorem 13/14: constructed permutations for minimal adaptive dex routers (bound = ⌊l⌋·d·n)",
+		Table: stats.NewTable("router", "n", "k", "bound", "undeliv@bound", "exchanges", "completion", "done"),
+	}
+	type cfg struct {
+		name string
+		alg  func() sim.Algorithm
+	}
+	algs := []cfg{{"dimorder", dimOrder}, {"zigzag", zigzag}}
+	ns := []int{60, 120, 216}
+	if !quick {
+		ns = []int{60, 120, 216, 312, 432}
+	}
+	// Every (router, n, k) cell is an independent simulation; sweep on
+	// all cores (internal/par) and emit rows in input order.
+	type cellIn struct {
+		name string
+		alg  func() sim.Algorithm
+		n, k int
+	}
+	type cellOut struct {
+		skip    bool
+		bound   int
+		undeliv int
+		exchg   int
+		comp    string
+		done    bool
+	}
+	var cells []cellIn
+	for _, a := range algs {
+		for _, n := range ns {
+			for _, k := range []int{1, 2} {
+				cells = append(cells, cellIn{a.name, a.alg, n, k})
+			}
+		}
+	}
+	outs, err := par.Map(len(cells), 0, func(i int) (cellOut, error) {
+		in := cells[i]
+		c, err := adversary.NewConstruction(in.n, in.k)
+		if err != nil {
+			return cellOut{skip: true}, nil // n too small for this k
+		}
+		res, err := c.Run(in.alg())
+		if err != nil {
+			return cellOut{}, fmt.Errorf("E1 %s n=%d k=%d: %w", in.name, in.n, in.k, err)
+		}
+		replay, err := c.Replay(res, in.alg())
+		if err != nil {
+			return cellOut{}, fmt.Errorf("E1 %s n=%d k=%d replay: %w", in.name, in.n, in.k, err)
+		}
+		cap := 30 * res.Steps
+		mk, done, err := adversary.RunToCompletion(replay, in.alg(), cap)
+		if err != nil {
+			return cellOut{}, err
+		}
+		comp := fmt.Sprint(mk)
+		if !done {
+			comp = fmt.Sprintf(">%d", cap)
+		}
+		return cellOut{bound: res.Steps, undeliv: res.UndeliveredHard, exchg: res.Exchanges, comp: comp, done: done}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for i, out := range outs {
+		if out.skip {
+			continue
+		}
+		in := cells[i]
+		rep.Table.AddRow(in.name, in.n, in.k, out.bound, out.undeliv, out.exchg, out.comp, out.done)
+		if in.name == "dimorder" && in.k == 1 {
+			xs = append(xs, float64(in.n))
+			ys = append(ys, float64(out.bound))
+		}
+	}
+	if _, b, err := stats.PowerFit(xs, ys); err == nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("bound scaling vs n at k=1: exponent %.2f (paper: Ω(n²/k²) → 2)", b))
+	}
+	return rep, nil
+}
+
+// E2 runs the Section 5 dimension-order construction and measures the
+// Theorem 15 router's completion time against its Ω(n²/k) bound.
+func E2(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E2",
+		Title: "Section 5: dimension-order construction, Ω(n²/k) (Theorem 15 router completes in Θ(n²/k))",
+		Table: stats.NewTable("n", "k", "bound", "undeliv@bound", "thm15 completion", "compl/(n²/k)"),
+	}
+	ns := []int{60, 90, 120}
+	if !quick {
+		ns = []int{60, 90, 120, 180, 240}
+	}
+	var xs, ys []float64
+	for _, n := range ns {
+		for _, k := range []int{1, 2} {
+			// Attack the Thm15 router: per the Other Queue Types
+			// simulation, its four queues of size k act like a
+			// central queue of 4k (+1 origin slot).
+			c, err := adversary.NewDOConstruction(n, 4*k+1)
+			if err != nil {
+				continue
+			}
+			c.Queues = sim.PerInlinkQueues
+			c.NetK = k
+			res, err := c.Run(thm15())
+			if err != nil {
+				return nil, fmt.Errorf("E2 n=%d k=%d: %w", n, k, err)
+			}
+			replay, err := c.Replay(res, thm15())
+			if err != nil {
+				return nil, fmt.Errorf("E2 n=%d k=%d replay: %w", n, k, err)
+			}
+			mk, done, err := adversary.RunToCompletion(replay, thm15(), 100*n*n)
+			if err != nil {
+				return nil, err
+			}
+			if !done {
+				return nil, fmt.Errorf("E2: thm15 did not complete n=%d k=%d", n, k)
+			}
+			rep.Table.AddRow(n, k, res.Steps, res.UndeliveredHard, mk, float64(mk)*float64(k)/float64(n*n))
+			if k == 1 {
+				xs = append(xs, float64(n))
+				ys = append(ys, float64(mk))
+			}
+		}
+	}
+	if _, b, err := stats.PowerFit(xs, ys); err == nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("thm15 completion scaling vs n at k=1: exponent %.2f (paper: Θ(n²/k) → 2)", b))
+	}
+	return rep, nil
+}
+
+// E3 runs the farthest-first construction (the router is NOT destination-
+// exchangeable, yet the bound holds).
+func E3(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E3",
+		Title: "Section 5: farthest-first dimension-order construction, Ω(n²/k)",
+		Table: stats.NewTable("n", "k", "bound", "undeliv@bound", "exchanges"),
+	}
+	ns := []int{64, 128}
+	if !quick {
+		ns = []int{64, 128, 192, 256}
+	}
+	for _, n := range ns {
+		for _, k := range []int{1, 2} {
+			c, err := adversary.NewFFConstruction(n, k)
+			if err != nil {
+				continue
+			}
+			res, err := c.Run(routers.DimOrderFF{})
+			if err != nil {
+				return nil, fmt.Errorf("E3 n=%d k=%d: %w", n, k, err)
+			}
+			if _, err := c.Replay(res, routers.DimOrderFF{}); err != nil {
+				return nil, fmt.Errorf("E3 n=%d k=%d replay: %w", n, k, err)
+			}
+			rep.Table.AddRow(n, k, res.Steps, res.UndeliveredHard, res.Exchanges)
+		}
+	}
+	return rep, nil
+}
+
+// E4 measures the Theorem 15 router's worst observed makespans across
+// adversarial and structured permutations, checking O(n²/k + n) and the
+// crossover to O(n) when k grows.
+func E4(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E4",
+		Title: "Theorem 15: bounded-queue dimension order delivers every permutation in O(n²/k + n)",
+		Table: stats.NewTable("n", "k", "workload", "makespan", "makespan/(n²/k+n)", "maxQ"),
+	}
+	ns := []int{32, 64}
+	if !quick {
+		ns = []int{32, 64, 96, 128}
+	}
+	for _, n := range ns {
+		topo := grid.NewSquareMesh(n)
+		for _, k := range []int{1, 2, 4, n / 2} {
+			for _, wl := range []struct {
+				name string
+				perm *workload.Permutation
+			}{
+				{"reversal", workload.Reversal(topo)},
+				{"transpose", workload.Transpose(topo)},
+				{"random", workload.Random(topo, int64(n+k))},
+			} {
+				net := sim.New(routers.Thm15Config(topo, k))
+				if err := wl.perm.Place(net); err != nil {
+					return nil, err
+				}
+				if _, err := net.RunPartial(thm15(), 200*(n*n/k+2*n)); err != nil {
+					return nil, err
+				}
+				if !net.Done() {
+					return nil, fmt.Errorf("E4: incomplete n=%d k=%d %s", n, k, wl.name)
+				}
+				bound := float64(n*n)/float64(k) + float64(n)
+				rep.Table.AddRow(n, k, wl.name, net.Metrics.Makespan,
+					float64(net.Metrics.Makespan)/bound, net.Metrics.MaxQueueLen)
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"ratio stays O(1) across k; at k=n/2 the n term dominates (O(n) regime)")
+	return rep, nil
+}
+
+// E5 runs the Section 6 algorithm and checks Theorem 34's bounds.
+func E5(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E5",
+		Title: "Theorem 34: Section 6 O(n)-time O(1)-queue minimal adaptive algorithm",
+		Table: stats.NewTable("n", "workload", "schedule", "schedule/n", "972n?", "measured", "maxQ", "Q<=834?"),
+	}
+	ns := []int{27, 81}
+	if !quick {
+		ns = []int{27, 81, 243}
+	}
+	for _, n := range ns {
+		topo := grid.NewSquareMesh(n)
+		for _, wl := range []struct {
+			name string
+			perm *workload.Permutation
+		}{
+			{"random", workload.Random(topo, 7)},
+			{"transpose", workload.Transpose(topo)},
+			{"reversal", workload.Reversal(topo)},
+		} {
+			r, err := clt.New(clt.Config{N: n})
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Route(wl.perm)
+			if err != nil {
+				return nil, fmt.Errorf("E5 n=%d %s: %w", n, wl.name, err)
+			}
+			rep.Table.AddRow(n, wl.name, res.TimeFormula,
+				float64(res.TimeFormula)/float64(n),
+				res.TimeFormula <= 972*n, res.TimeMeasured, res.MaxQueue, res.MaxQueue <= 834)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"schedule/n is the Theorem 34 constant; the paper proves <= 972 (564 with the improved q, see A2)")
+	return rep, nil
+}
+
+// E6 reports the h-h construction bounds, which grow like h³n²/(k+h)².
+func E6(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E6",
+		Title: "Section 5: h-h routing construction, Ω(h³n²/(k+h)²)",
+		Table: stats.NewTable("n", "k", "h", "bound", "undeliv@bound", "packets"),
+	}
+	n := 60
+	if !quick {
+		n = 120
+	}
+	for _, k := range []int{1, 2} {
+		for _, h := range []int{1, 2, 4} {
+			c, err := adversary.NewHHConstruction(n, k, h)
+			if err != nil {
+				rep.Table.AddRow(n, k, h, "-", "-", fmt.Sprintf("(%v)", err))
+				continue
+			}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return nil, fmt.Errorf("E6 k=%d h=%d: %w", k, h, err)
+			}
+			rep.Table.AddRow(n, k, h, res.Steps, res.UndeliveredHard, len(res.Permutation))
+		}
+	}
+	return rep, nil
+}
+
+// E7 embeds the construction in a torus (Section 5): the same Ω(n²/k²)
+// holds on an (n/2)×(n/2) submesh of the n-torus.
+func E7(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E7",
+		Title: "Section 5: torus embedding of the Theorem 14 construction",
+		Table: stats.NewTable("torus", "submesh", "k", "bound", "undeliv@bound"),
+	}
+	ms := []int{60, 120}
+	if !quick {
+		ms = []int{60, 120, 216}
+	}
+	for _, m := range ms {
+		for _, k := range []int{1, 2} {
+			par, err := adversary.NewParams(m, k)
+			if err != nil {
+				continue
+			}
+			c := &adversary.Construction{Par: par, Topo: grid.NewSquareTorus(2 * m), H: 1}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return nil, fmt.Errorf("E7 m=%d k=%d: %w", m, k, err)
+			}
+			if _, err := c.Replay(res, dimOrder()); err != nil {
+				return nil, fmt.Errorf("E7 m=%d k=%d replay: %w", m, k, err)
+			}
+			rep.Table.AddRow(2*m, m, k, res.Steps, res.UndeliveredHard)
+		}
+	}
+	return rep, nil
+}
+
+// E8 frames the worst-case results against the average case (Section 1.1):
+// random traffic routes in about 2n steps with tiny queues.
+func E8(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E8",
+		Title: "Average case (Section 1.1 framing): random traffic ≈ 2n steps, small queues",
+		Table: stats.NewTable("router", "n", "k", "workload", "makespan", "makespan/n", "maxQ"),
+	}
+	ns := []int{32, 64}
+	if !quick {
+		ns = []int{32, 64, 128}
+	}
+	for _, n := range ns {
+		topo := grid.NewSquareMesh(n)
+		for _, wl := range []struct {
+			name string
+			perm *workload.Permutation
+		}{
+			{"random-perm", workload.Random(topo, 3)},
+			{"random-dest", workload.RandomDestinations(topo, 3)},
+		} {
+			for _, rt := range []struct {
+				name string
+				alg  func() sim.Algorithm
+				cfg  sim.Config
+			}{
+				{"thm15 k=2", thm15, routers.Thm15Config(topo, 2)},
+				{"dimorder k=4", dimOrder, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
+				{"zigzag k=4", zigzag, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
+			} {
+				net := sim.New(rt.cfg)
+				if err := wl.perm.Place(net); err != nil {
+					return nil, err
+				}
+				if _, err := net.RunPartial(rt.alg(), 500*n); err != nil {
+					return nil, err
+				}
+				if !net.Done() {
+					return nil, fmt.Errorf("E8: %s incomplete on %s n=%d", rt.name, wl.name, n)
+				}
+				rep.Table.AddRow(rt.name, n, rt.cfg.K, wl.name, net.Metrics.Makespan,
+					float64(net.Metrics.Makespan)/float64(n), net.Metrics.MaxQueueLen)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// E9 is the paper's conclusion as a head-to-head: on the Theorem 14
+// permutation, the destination-exchangeable minimal routers are stuck at
+// the bound, while each of the paper's escape hatches — full destination
+// info (Section 6), nonminimal paths (hot potato) — evades it.
+func E9(quick bool) (*Report, error) {
+	n, k := 243, 2 // power of 3 so the Section 6 algorithm applies
+	rep := &Report{
+		ID:    "E9",
+		Title: fmt.Sprintf("Section 7: the three escape hatches on the constructed permutation (n=%d, k=%d)", n, k),
+		Table: stats.NewTable("router", "class", "time", "time/bound", "done"),
+	}
+	c, err := adversary.NewConstruction(n, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(dimOrder())
+	if err != nil {
+		return nil, err
+	}
+	bound := res.Steps
+	perm := &workload.Permutation{Pairs: res.Permutation}
+
+	// Destination-exchangeable minimal: must exceed the bound.
+	replay, err := c.Replay(res, dimOrder())
+	if err != nil {
+		return nil, err
+	}
+	cap := 40 * bound
+	mk, done, err := adversary.RunToCompletion(replay, dimOrder(), cap)
+	if err != nil {
+		return nil, err
+	}
+	t := fmt.Sprint(mk)
+	if !done {
+		t = fmt.Sprintf(">%d", cap)
+		mk = cap
+	}
+	rep.Table.AddRow("dimorder", "dex+minimal (bound applies)", t, float64(mk)/float64(bound), done)
+
+	// Section 6: minimal but full-destination-aware: O(n).
+	r, err := clt.New(clt.Config{N: n})
+	if err != nil {
+		return nil, err
+	}
+	cres, err := r.Route(perm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Table.AddRow("clt-section6", "minimal, NOT dex (hatch 1)", cres.TimeFormula, float64(cres.TimeFormula)/float64(bound), true)
+
+	// Hot potato: destination-exchangeable but nonminimal.
+	net := sim.New(routers.HotPotatoConfig(grid.NewSquareMesh(n)))
+	if err := perm.Place(net); err != nil {
+		return nil, err
+	}
+	if _, err := net.RunPartial(routers.HotPotato{}, 400*n); err != nil {
+		return nil, err
+	}
+	hp := fmt.Sprint(net.Metrics.Makespan)
+	if !net.Done() {
+		hp = fmt.Sprintf(">%d", 400*n)
+	}
+	rep.Table.AddRow("hot-potato", "dex, NOT minimal (hatch 2)", hp, float64(net.Metrics.Makespan)/float64(bound), net.Done())
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("Theorem 13 bound = %d steps; the dex minimal router cannot beat it — and in fact wedges far above it", bound),
+		"the escapes are asymptotic: the dex bound grows as n²/k² (E1 fit ≈ 2) while the Section 6 schedule",
+		fmt.Sprintf("grows as 972n (E5); with the paper's constants the crossover sits near n ≈ 972·12(k+2)² ≈ %d, far", 972*12*(k+2)*(k+2)),
+		"beyond simulable sizes — the paper's own constants, honestly reproduced",
+		"hatch 3 (randomization) is out of scope for this deterministic reproduction")
+	return rep, nil
+}
+
+// A1 ablates the exchange rules: without them the same initial instance is
+// far easier for the router.
+func A1(quick bool) (*Report, error) {
+	n, k := 120, 1
+	if !quick {
+		n = 216
+	}
+	rep := &Report{
+		ID:    "A1",
+		Title: fmt.Sprintf("Ablation: exchange rules on vs off (n=%d, k=%d, zigzag)", n, k),
+		Table: stats.NewTable("variant", "exchanges", "undeliv@bound", "completion", "done"),
+	}
+	c, err := adversary.NewConstruction(n, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(zigzag())
+	if err != nil {
+		return nil, err
+	}
+	cap := 40 * res.Steps
+
+	replay, err := c.Replay(res, zigzag())
+	if err != nil {
+		return nil, err
+	}
+	mk, done, err := adversary.RunToCompletion(replay, zigzag(), cap)
+	if err != nil {
+		return nil, err
+	}
+	comp := fmt.Sprint(mk)
+	if !done {
+		comp = fmt.Sprintf(">%d", cap)
+	}
+	rep.Table.AddRow("constructed (exchanges on)", res.Exchanges, res.UndeliveredHard, comp, done)
+
+	// Same initial placement, no adversary.
+	c2, err := adversary.NewConstruction(n, k)
+	if err != nil {
+		return nil, err
+	}
+	res2, err := c2.RunWithoutExchanges(zigzag())
+	if err != nil {
+		return nil, err
+	}
+	replay2 := res2.Net
+	mk2, done2, err := adversary.RunToCompletion(replay2, zigzag(), cap)
+	if err != nil {
+		return nil, err
+	}
+	comp2 := fmt.Sprint(mk2)
+	if !done2 {
+		comp2 = fmt.Sprintf(">%d", cap)
+	}
+	rep.Table.AddRow("initial assignment (exchanges off)", 0, res2.UndeliveredHard, comp2, done2)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("Theorem 13 bound = %d steps", res.Steps),
+		"the exchanges exist to *guarantee* the bound against any dex router; when the corner congestion",
+		"already exceeds the bound (small ⌊l⌋), the with/without gap is modest — the guarantee, not the",
+		"gap, is the theorem")
+	return rep, nil
+}
+
+// A2 compares the Section 6 algorithm's schedule constant with q = 408
+// everywhere vs the improved q = 102 for iterations j >= 1.
+func A2(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "A2",
+		Title: "Ablation: Section 6 March capacity q = 408 vs improved q = 102 (564n variant)",
+		Table: stats.NewTable("n", "q-variant", "schedule", "schedule/n", "maxQ"),
+	}
+	ns := []int{27, 81}
+	if !quick {
+		ns = []int{27, 81, 243}
+	}
+	for _, n := range ns {
+		perm := workload.Random(grid.NewSquareMesh(n), 5)
+		for _, improved := range []bool{false, true} {
+			r, err := clt.New(clt.Config{N: n, ImprovedQ: improved})
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Route(perm)
+			if err != nil {
+				return nil, fmt.Errorf("A2 n=%d improved=%v: %w", n, improved, err)
+			}
+			name := "q=408 (972n)"
+			if improved {
+				name = "q=102 for j>=1 (564n)"
+			}
+			rep.Table.AddRow(n, name, res.TimeFormula, float64(res.TimeFormula)/float64(n), res.MaxQueue)
+		}
+	}
+	return rep, nil
+}
+
+// All runs every experiment.
+func All(quick bool) ([]*Report, error) {
+	fns := []func(bool) (*Report, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, A1, A2}
+	var out []*Report
+	for _, fn := range fns {
+		r, err := fn(quick)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

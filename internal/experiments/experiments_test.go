@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run in quick mode and produce a non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	reps, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 16 {
+		t.Fatalf("want 16 reports, got %d", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		out := r.String()
+		if !strings.Contains(out, r.ID) || len(strings.Split(out, "\n")) < 4 {
+			t.Fatalf("%s: degenerate output:\n%s", r.ID, out)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2"} {
+		if !seen[id] {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}

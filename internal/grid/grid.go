@@ -1,0 +1,347 @@
+// Package grid provides the mesh and torus network topologies used by the
+// routing simulator: coordinates, directions, node identifiers, shortest-path
+// (L1) metrics, and the computation of "profitable outlinks" — the outlinks
+// that move a packet strictly closer to its destination — which is the only
+// destination information a destination-exchangeable routing algorithm may
+// observe (Chinn–Leighton–Tompa, Section 2).
+//
+// Conventions follow the paper: columns are numbered west to east and rows
+// south to north. Internally both are 0-based, so Coord{X: 0, Y: 0} is the
+// southwest corner and increasing Y moves north.
+package grid
+
+import "fmt"
+
+// Dir identifies one of the four mesh directions. The zero value is North.
+type Dir uint8
+
+// The four directions, in the fixed deterministic iteration order used
+// throughout the simulator.
+const (
+	North Dir = iota
+	East
+	South
+	West
+
+	// NumDirs is the number of mesh directions.
+	NumDirs = 4
+
+	// NoDir is a sentinel for "no direction" (e.g. the inlink of a packet
+	// that has not moved yet).
+	NoDir Dir = 4
+)
+
+var dirNames = [...]string{"North", "East", "South", "West", "NoDir"}
+
+// String returns the direction's name.
+func (d Dir) String() string {
+	if int(d) < len(dirNames) {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// Opposite returns the reverse direction. Opposite of NoDir is NoDir.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return NoDir
+}
+
+// Delta returns the coordinate change of one hop in direction d.
+func (d Dir) Delta() (dx, dy int) {
+	switch d {
+	case North:
+		return 0, 1
+	case East:
+		return 1, 0
+	case South:
+		return 0, -1
+	case West:
+		return -1, 0
+	}
+	return 0, 0
+}
+
+// Horizontal reports whether d is East or West.
+func (d Dir) Horizontal() bool { return d == East || d == West }
+
+// DirSet is a bitmask of directions.
+type DirSet uint8
+
+// Set returns s with d added.
+func (s DirSet) Set(d Dir) DirSet { return s | 1<<d }
+
+// Has reports whether d is in the set.
+func (s DirSet) Has(d Dir) bool { return s&(1<<d) != 0 }
+
+// Count returns the number of directions in the set.
+func (s DirSet) Count() int {
+	c := 0
+	for d := Dir(0); d < NumDirs; d++ {
+		if s.Has(d) {
+			c++
+		}
+	}
+	return c
+}
+
+// Dirs returns the directions in the set in canonical order.
+func (s DirSet) Dirs() []Dir {
+	out := make([]Dir, 0, 4)
+	for d := Dir(0); d < NumDirs; d++ {
+		if s.Has(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders the set like "{North East}".
+func (s DirSet) String() string {
+	str := "{"
+	for i, d := range s.Dirs() {
+		if i > 0 {
+			str += " "
+		}
+		str += d.String()
+	}
+	return str + "}"
+}
+
+// NodeID is a dense node identifier in [0, W*H).
+type NodeID int32
+
+// Coord is a mesh coordinate: X is the column (0 = westernmost), Y is the
+// row (0 = southernmost).
+type Coord struct {
+	X, Y int
+}
+
+// XY is shorthand for Coord{X: x, Y: y}.
+func XY(x, y int) Coord { return Coord{X: x, Y: y} }
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns the coordinate one hop away in direction d.
+func (c Coord) Add(d Dir) Coord {
+	dx, dy := d.Delta()
+	return Coord{c.X + dx, c.Y + dy}
+}
+
+// Topology abstracts the mesh and torus networks. All methods must be
+// deterministic and safe for concurrent readers.
+type Topology interface {
+	// Width returns the number of columns.
+	Width() int
+	// Height returns the number of rows.
+	Height() int
+	// N returns the number of nodes.
+	N() int
+	// ID maps a coordinate to its node identifier. The coordinate must be
+	// in range.
+	ID(c Coord) NodeID
+	// CoordOf maps a node identifier back to its coordinate.
+	CoordOf(id NodeID) Coord
+	// Neighbor returns the node one hop away in direction d, and whether
+	// that outlink exists.
+	Neighbor(id NodeID, d Dir) (NodeID, bool)
+	// Dist returns the shortest-path distance between two nodes.
+	Dist(a, b NodeID) int
+	// Profitable returns the set of outlinks of from that strictly
+	// decrease the distance to dst.
+	Profitable(from, dst NodeID) DirSet
+	// Wraparound reports whether the topology is a torus.
+	Wraparound() bool
+}
+
+// Mesh is the n×m two-dimensional mesh (no wraparound links).
+type Mesh struct {
+	w, h int
+}
+
+// NewMesh returns a w×h mesh. Width and height must be positive.
+func NewMesh(w, h int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid mesh size %dx%d", w, h))
+	}
+	return &Mesh{w: w, h: h}
+}
+
+// NewSquareMesh returns the n×n mesh of the paper.
+func NewSquareMesh(n int) *Mesh { return NewMesh(n, n) }
+
+// Width returns the number of columns.
+func (m *Mesh) Width() int { return m.w }
+
+// Height returns the number of rows.
+func (m *Mesh) Height() int { return m.h }
+
+// N returns the number of nodes.
+func (m *Mesh) N() int { return m.w * m.h }
+
+// ID maps a coordinate to its node identifier.
+func (m *Mesh) ID(c Coord) NodeID {
+	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		panic(fmt.Sprintf("grid: coord %v out of %dx%d mesh", c, m.w, m.h))
+	}
+	return NodeID(c.Y*m.w + c.X)
+}
+
+// CoordOf maps a node identifier back to its coordinate.
+func (m *Mesh) CoordOf(id NodeID) Coord {
+	return Coord{X: int(id) % m.w, Y: int(id) / m.w}
+}
+
+// Neighbor returns the node one hop away in direction d, if the outlink
+// exists (mesh edges have no wraparound).
+func (m *Mesh) Neighbor(id NodeID, d Dir) (NodeID, bool) {
+	c := m.CoordOf(id).Add(d)
+	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// Dist returns the L1 distance between two nodes.
+func (m *Mesh) Dist(a, b NodeID) int {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// Profitable returns the outlinks of from that move a packet closer to dst.
+func (m *Mesh) Profitable(from, dst NodeID) DirSet {
+	cf, cd := m.CoordOf(from), m.CoordOf(dst)
+	var s DirSet
+	if cd.X > cf.X {
+		s = s.Set(East)
+	} else if cd.X < cf.X {
+		s = s.Set(West)
+	}
+	if cd.Y > cf.Y {
+		s = s.Set(North)
+	} else if cd.Y < cf.Y {
+		s = s.Set(South)
+	}
+	return s
+}
+
+// Wraparound reports false: the mesh has no wraparound links.
+func (m *Mesh) Wraparound() bool { return false }
+
+// Torus is the n×m two-dimensional torus (mesh with wraparound links).
+type Torus struct {
+	w, h int
+}
+
+// NewTorus returns a w×h torus. Width and height must be positive.
+func NewTorus(w, h int) *Torus {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid torus size %dx%d", w, h))
+	}
+	return &Torus{w: w, h: h}
+}
+
+// NewSquareTorus returns the n×n torus.
+func NewSquareTorus(n int) *Torus { return NewTorus(n, n) }
+
+// Width returns the number of columns.
+func (t *Torus) Width() int { return t.w }
+
+// Height returns the number of rows.
+func (t *Torus) Height() int { return t.h }
+
+// N returns the number of nodes.
+func (t *Torus) N() int { return t.w * t.h }
+
+// ID maps a coordinate to its node identifier.
+func (t *Torus) ID(c Coord) NodeID {
+	if c.X < 0 || c.X >= t.w || c.Y < 0 || c.Y >= t.h {
+		panic(fmt.Sprintf("grid: coord %v out of %dx%d torus", c, t.w, t.h))
+	}
+	return NodeID(c.Y*t.w + c.X)
+}
+
+// CoordOf maps a node identifier back to its coordinate.
+func (t *Torus) CoordOf(id NodeID) Coord {
+	return Coord{X: int(id) % t.w, Y: int(id) / t.w}
+}
+
+// Neighbor returns the node one hop away in direction d; on the torus every
+// outlink exists, wrapping around the edges.
+func (t *Torus) Neighbor(id NodeID, d Dir) (NodeID, bool) {
+	c := t.CoordOf(id).Add(d)
+	c.X = mod(c.X, t.w)
+	c.Y = mod(c.Y, t.h)
+	return t.ID(c), true
+}
+
+// Dist returns the torus shortest-path distance between two nodes.
+func (t *Torus) Dist(a, b NodeID) int {
+	ca, cb := t.CoordOf(a), t.CoordOf(b)
+	return wrapDist(ca.X, cb.X, t.w) + wrapDist(ca.Y, cb.Y, t.h)
+}
+
+// Profitable returns the outlinks of from that move a packet closer to dst
+// under the torus metric. When the two ways around a dimension are
+// equidistant, both directions are profitable.
+func (t *Torus) Profitable(from, dst NodeID) DirSet {
+	cf, cd := t.CoordOf(from), t.CoordOf(dst)
+	var s DirSet
+	if cf.X != cd.X {
+		fwd := mod(cd.X-cf.X, t.w) // hops going East
+		bwd := t.w - fwd           // hops going West
+		if fwd <= bwd {
+			s = s.Set(East)
+		}
+		if bwd <= fwd {
+			s = s.Set(West)
+		}
+	}
+	if cf.Y != cd.Y {
+		fwd := mod(cd.Y-cf.Y, t.h) // hops going North
+		bwd := t.h - fwd           // hops going South
+		if fwd <= bwd {
+			s = s.Set(North)
+		}
+		if bwd <= fwd {
+			s = s.Set(South)
+		}
+	}
+	return s
+}
+
+// Wraparound reports true.
+func (t *Torus) Wraparound() bool { return true }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mod(x, m int) int {
+	x %= m
+	if x < 0 {
+		x += m
+	}
+	return x
+}
+
+func wrapDist(a, b, m int) int {
+	d := abs(a - b)
+	if m-d < d {
+		return m - d
+	}
+	return d
+}

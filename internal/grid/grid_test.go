@@ -1,0 +1,338 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirOpposite(t *testing.T) {
+	cases := []struct{ d, want Dir }{
+		{North, South},
+		{South, North},
+		{East, West},
+		{West, East},
+		{NoDir, NoDir},
+	}
+	for _, c := range cases {
+		if got := c.d.Opposite(); got != c.want {
+			t.Errorf("Opposite(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDirDelta(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		dx, dy := d.Delta()
+		if abs(dx)+abs(dy) != 1 {
+			t.Errorf("Delta(%v) = (%d,%d), want unit step", d, dx, dy)
+		}
+		ox, oy := d.Opposite().Delta()
+		if ox != -dx || oy != -dy {
+			t.Errorf("Delta(%v) and Delta(opposite) not negations", d)
+		}
+	}
+	if dx, dy := NoDir.Delta(); dx != 0 || dy != 0 {
+		t.Errorf("Delta(NoDir) = (%d,%d), want (0,0)", dx, dy)
+	}
+}
+
+func TestDirHorizontal(t *testing.T) {
+	if !East.Horizontal() || !West.Horizontal() {
+		t.Error("East/West must be horizontal")
+	}
+	if North.Horizontal() || South.Horizontal() {
+		t.Error("North/South must not be horizontal")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if North.String() != "North" || NoDir.String() != "NoDir" {
+		t.Errorf("unexpected names %q %q", North, NoDir)
+	}
+	if Dir(9).String() == "" {
+		t.Error("out-of-range Dir must still render")
+	}
+}
+
+func TestDirSet(t *testing.T) {
+	var s DirSet
+	if s.Count() != 0 {
+		t.Fatal("empty set must have count 0")
+	}
+	s = s.Set(North).Set(East)
+	if !s.Has(North) || !s.Has(East) || s.Has(South) || s.Has(West) {
+		t.Fatalf("set contents wrong: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	dirs := s.Dirs()
+	if len(dirs) != 2 || dirs[0] != North || dirs[1] != East {
+		t.Fatalf("Dirs = %v, want [North East]", dirs)
+	}
+	if got := s.String(); got != "{North East}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMeshIDCoordRoundTrip(t *testing.T) {
+	m := NewMesh(7, 5)
+	if m.N() != 35 || m.Width() != 7 || m.Height() != 5 {
+		t.Fatal("mesh dimensions wrong")
+	}
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			c := Coord{x, y}
+			if got := m.CoordOf(m.ID(c)); got != c {
+				t.Fatalf("round trip %v -> %v", c, got)
+			}
+		}
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := NewSquareMesh(4)
+	// Southwest corner has only North and East.
+	sw := m.ID(Coord{0, 0})
+	if _, ok := m.Neighbor(sw, South); ok {
+		t.Error("corner must not have South neighbor")
+	}
+	if _, ok := m.Neighbor(sw, West); ok {
+		t.Error("corner must not have West neighbor")
+	}
+	if n, ok := m.Neighbor(sw, North); !ok || m.CoordOf(n) != (Coord{0, 1}) {
+		t.Error("North neighbor wrong")
+	}
+	if n, ok := m.Neighbor(sw, East); !ok || m.CoordOf(n) != (Coord{1, 0}) {
+		t.Error("East neighbor wrong")
+	}
+	// Interior node has all four.
+	mid := m.ID(Coord{2, 2})
+	for d := Dir(0); d < NumDirs; d++ {
+		if _, ok := m.Neighbor(mid, d); !ok {
+			t.Errorf("interior node missing %v neighbor", d)
+		}
+	}
+}
+
+func TestMeshDist(t *testing.T) {
+	m := NewSquareMesh(8)
+	a := m.ID(Coord{1, 2})
+	b := m.ID(Coord{5, 7})
+	if got := m.Dist(a, b); got != 4+5 {
+		t.Fatalf("Dist = %d, want 9", got)
+	}
+	if m.Dist(a, a) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+}
+
+func TestMeshProfitable(t *testing.T) {
+	m := NewSquareMesh(8)
+	from := m.ID(Coord{3, 3})
+	cases := []struct {
+		dst  Coord
+		want DirSet
+	}{
+		{Coord{3, 3}, 0},
+		{Coord{5, 3}, DirSet(0).Set(East)},
+		{Coord{1, 3}, DirSet(0).Set(West)},
+		{Coord{3, 6}, DirSet(0).Set(North)},
+		{Coord{3, 0}, DirSet(0).Set(South)},
+		{Coord{6, 6}, DirSet(0).Set(North).Set(East)},
+		{Coord{0, 0}, DirSet(0).Set(South).Set(West)},
+		{Coord{6, 0}, DirSet(0).Set(South).Set(East)},
+		{Coord{0, 6}, DirSet(0).Set(North).Set(West)},
+	}
+	for _, c := range cases {
+		if got := m.Profitable(from, m.ID(c.dst)); got != c.want {
+			t.Errorf("Profitable to %v = %v, want %v", c.dst, got, c.want)
+		}
+	}
+}
+
+func TestMeshWraparound(t *testing.T) {
+	if NewSquareMesh(3).Wraparound() {
+		t.Error("mesh must not wrap")
+	}
+	if !NewSquareTorus(3).Wraparound() {
+		t.Error("torus must wrap")
+	}
+}
+
+func TestTorusNeighbors(t *testing.T) {
+	tr := NewSquareTorus(4)
+	sw := tr.ID(Coord{0, 0})
+	if n, ok := tr.Neighbor(sw, South); !ok || tr.CoordOf(n) != (Coord{0, 3}) {
+		t.Error("torus South wrap wrong")
+	}
+	if n, ok := tr.Neighbor(sw, West); !ok || tr.CoordOf(n) != (Coord{3, 0}) {
+		t.Error("torus West wrap wrong")
+	}
+	ne := tr.ID(Coord{3, 3})
+	if n, ok := tr.Neighbor(ne, North); !ok || tr.CoordOf(n) != (Coord{3, 0}) {
+		t.Error("torus North wrap wrong")
+	}
+	if n, ok := tr.Neighbor(ne, East); !ok || tr.CoordOf(n) != (Coord{0, 3}) {
+		t.Error("torus East wrap wrong")
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	tr := NewSquareTorus(8)
+	a := tr.ID(Coord{0, 0})
+	b := tr.ID(Coord{7, 7})
+	if got := tr.Dist(a, b); got != 2 {
+		t.Fatalf("torus Dist = %d, want 2 (wraparound)", got)
+	}
+	c := tr.ID(Coord{4, 0})
+	if got := tr.Dist(a, c); got != 4 {
+		t.Fatalf("torus antipodal Dist = %d, want 4", got)
+	}
+}
+
+func TestTorusProfitableTieBothWays(t *testing.T) {
+	tr := NewSquareTorus(8)
+	from := tr.ID(Coord{0, 0})
+	dst := tr.ID(Coord{4, 0}) // antipodal in X: East and West equidistant
+	got := tr.Profitable(from, dst)
+	if !got.Has(East) || !got.Has(West) {
+		t.Fatalf("antipodal X must make both East and West profitable, got %v", got)
+	}
+	if got.Has(North) || got.Has(South) {
+		t.Fatalf("Y dims equal, no vertical profit expected, got %v", got)
+	}
+}
+
+func TestTorusProfitableShortWay(t *testing.T) {
+	tr := NewSquareTorus(8)
+	from := tr.ID(Coord{1, 1})
+	dst := tr.ID(Coord{7, 1}) // going West (2 hops) beats East (6 hops)
+	got := tr.Profitable(from, dst)
+	if !got.Has(West) || got.Has(East) {
+		t.Fatalf("short way is West, got %v", got)
+	}
+}
+
+// Property: every profitable direction decreases distance by exactly one,
+// and every non-profitable existing outlink does not decrease it.
+func testProfitableDecreasesDist(t *testing.T, topo Topology) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		a := NodeID(rng.Intn(topo.N()))
+		b := NodeID(rng.Intn(topo.N()))
+		prof := topo.Profitable(a, b)
+		base := topo.Dist(a, b)
+		for d := Dir(0); d < NumDirs; d++ {
+			nb, ok := topo.Neighbor(a, d)
+			if !ok {
+				if prof.Has(d) {
+					t.Fatalf("profitable dir %v has no outlink at %v", d, topo.CoordOf(a))
+				}
+				continue
+			}
+			nd := topo.Dist(nb, b)
+			if prof.Has(d) && nd != base-1 {
+				t.Fatalf("profitable %v from %v to %v: dist %d -> %d", d, topo.CoordOf(a), topo.CoordOf(b), base, nd)
+			}
+			if !prof.Has(d) && nd < base {
+				t.Fatalf("non-profitable %v from %v to %v decreases dist %d -> %d", d, topo.CoordOf(a), topo.CoordOf(b), base, nd)
+			}
+		}
+		if base > 0 && prof == 0 {
+			t.Fatalf("dist %d > 0 but no profitable dirs from %v to %v", base, topo.CoordOf(a), topo.CoordOf(b))
+		}
+		if base == 0 && prof != 0 {
+			t.Fatalf("at destination but profitable dirs %v", prof)
+		}
+	}
+}
+
+func TestMeshProfitableDecreasesDist(t *testing.T) {
+	testProfitableDecreasesDist(t, NewMesh(9, 6))
+}
+
+func TestTorusProfitableDecreasesDist(t *testing.T) {
+	testProfitableDecreasesDist(t, NewTorus(9, 6))
+	testProfitableDecreasesDist(t, NewTorus(8, 8)) // even: antipodal ties
+}
+
+// Property (testing/quick): mesh distance is a metric and matches the
+// coordinate formula.
+func TestQuickMeshDistMetric(t *testing.T) {
+	m := NewSquareMesh(16)
+	f := func(ax, ay, bx, by, cx, cy uint8) bool {
+		a := m.ID(Coord{int(ax) % 16, int(ay) % 16})
+		b := m.ID(Coord{int(bx) % 16, int(by) % 16})
+		c := m.ID(Coord{int(cx) % 16, int(cy) % 16})
+		// symmetry, identity, triangle inequality
+		return m.Dist(a, b) == m.Dist(b, a) &&
+			(m.Dist(a, b) == 0) == (a == b) &&
+			m.Dist(a, c) <= m.Dist(a, b)+m.Dist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): torus distance is a metric bounded by mesh
+// distance.
+func TestQuickTorusDistMetric(t *testing.T) {
+	tr := NewSquareTorus(16)
+	me := NewSquareMesh(16)
+	f := func(ax, ay, bx, by, cx, cy uint8) bool {
+		a := tr.ID(Coord{int(ax) % 16, int(ay) % 16})
+		b := tr.ID(Coord{int(bx) % 16, int(by) % 16})
+		c := tr.ID(Coord{int(cx) % 16, int(cy) % 16})
+		return tr.Dist(a, b) == tr.Dist(b, a) &&
+			(tr.Dist(a, b) == 0) == (a == b) &&
+			tr.Dist(a, c) <= tr.Dist(a, b)+tr.Dist(b, c) &&
+			tr.Dist(a, b) <= me.Dist(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): neighbor links are symmetric — (u,v) in E iff
+// (v,u) in E, with opposite directions.
+func TestQuickNeighborSymmetry(t *testing.T) {
+	topos := []Topology{NewMesh(11, 7), NewTorus(11, 7)}
+	for _, topo := range topos {
+		f := func(x, y, dd uint8) bool {
+			c := Coord{int(x) % topo.Width(), int(y) % topo.Height()}
+			d := Dir(dd % NumDirs)
+			u := topo.ID(c)
+			v, ok := topo.Neighbor(u, d)
+			if !ok {
+				return true
+			}
+			back, ok2 := topo.Neighbor(v, d.Opposite())
+			return ok2 && back == u
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%T: %v", topo, err)
+		}
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	mustPanic(t, func() { NewMesh(0, 3) })
+	mustPanic(t, func() { NewTorus(3, -1) })
+	m := NewSquareMesh(3)
+	mustPanic(t, func() { m.ID(Coord{3, 0}) })
+	tr := NewSquareTorus(3)
+	mustPanic(t, func() { tr.ID(Coord{0, -1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,55 @@
+// Package par provides the small parallel-execution helpers used by the
+// experiment harness: every simulation cell (one network, one router, one
+// workload) is fully independent, so parameter sweeps fan out across a
+// bounded worker pool and collect results in input order, keeping the
+// printed tables deterministic while using all cores.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(i) for i in [0, n) on a bounded worker pool and returns the
+// results in input order. The first error wins; remaining work still runs
+// to completion (cells are cheap and independent).
+func Map[T any](n int, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without results.
+func ForEach(n int, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,77 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	out, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(50, 4, func(i int) (int, error) {
+		if i == 33 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapRunsEverything(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEach(257, 5, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 257 {
+		t.Fatalf("ran %d of 257", count.Load())
+	}
+}
+
+func TestMapZeroAndOneWorkers(t *testing.T) {
+	out, err := Map(5, 0, func(i int) (int, error) { return i, nil }) // 0 => GOMAXPROCS
+	if err != nil || len(out) != 5 {
+		t.Fatal("default workers failed")
+	}
+	out, err = Map(5, 1, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || out[4] != 5 {
+		t.Fatal("single worker failed")
+	}
+}
+
+func TestQuickMapMatchesSequential(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		w := int(wRaw)%9 + 1
+		out, err := Map(n, w, func(i int) (int, error) { return 3*i + 1, nil })
+		if err != nil {
+			return false
+		}
+		for i, v := range out {
+			if v != 3*i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

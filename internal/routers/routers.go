@@ -1,0 +1,134 @@
+// Package routers implements the routing algorithms studied in the paper:
+//
+//   - DimOrderFIFO: the dimension-order algorithm with FIFO outqueue and
+//     round-robin inqueue policies — the paper's canonical example of a
+//     destination-exchangeable algorithm (Section 2).
+//   - ZigZag: the minimal adaptive example from Section 2 — a packet moves
+//     in one profitable direction until blocked by congestion, then
+//     alternates to its other profitable direction.
+//   - Thm15: the destination-exchangeable dimension-order router of
+//     Theorem 15, with four incoming queues of size k, straight-priority
+//     outqueue policy, and the O(n²/k + n) worst-case bound.
+//   - DimOrderFF: dimension-order routing with the farthest-first outqueue
+//     policy (uses full destination distances, so it is *not*
+//     destination-exchangeable; Section 5 lower-bounds it anyway).
+//   - HotPotato: a simple deterministic deflection router — nonminimal and
+//     destination-exchangeable, demonstrating why Theorem 14 requires the
+//     minimality assumption (cf. the Bar-Noy et al. O(n^{3/2}) algorithm).
+//
+// The destination-exchangeable routers are dex.Policy implementations; use
+// dex.NewAdapter to run them. The others implement sim.Algorithm directly.
+package routers
+
+import (
+	"meshroute/internal/dex"
+	"meshroute/internal/grid"
+)
+
+// DimOrderWant returns the outlink a dimension-order (row-first) packet
+// wants, given only its profitable outlinks: the horizontal profitable
+// direction if one exists, otherwise the vertical one, otherwise NoDir.
+func DimOrderWant(prof grid.DirSet) grid.Dir {
+	switch {
+	case prof.Has(grid.East):
+		return grid.East
+	case prof.Has(grid.West):
+		return grid.West
+	case prof.Has(grid.North):
+		return grid.North
+	case prof.Has(grid.South):
+		return grid.South
+	}
+	return grid.NoDir
+}
+
+// acceptRoundRobin implements the round-robin inqueue policy of Section 2
+// for a single central queue, extended with a "swap" rule that prevents
+// head-on buffer deadlock:
+//
+//   - If this node scheduled a packet toward the sender of an offer, the
+//     offer is accepted unconditionally. The existence of the offer proves
+//     the sender scheduled toward us too, so by symmetry the sender accepts
+//     our packet as well: both queues trade one packet and occupancy is
+//     unchanged, which can never overflow.
+//   - Remaining offers are accepted while there is room, rotating over
+//     inlinks with the rotation position kept in the node state.
+//
+// Both rules use only node state, schedules and offered packets' visible
+// fields, so the policy remains destination-exchangeable. sched must be the
+// node's own outqueue decision for this step (policies are pure functions
+// of the context, so the caller recomputes it).
+func acceptRoundRobin(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDirs]int) []bool {
+	acc := make([]bool, len(offers))
+	free := c.K - c.QueueLens[0]
+	for i, o := range offers {
+		senderDir := o.Travel.Opposite()
+		if sched[senderDir] >= 0 {
+			acc[i] = true // swap: our packet to them departs for sure
+		}
+	}
+	if free <= 0 {
+		return acc
+	}
+	start := grid.Dir(*c.State % grid.NumDirs)
+	for j := grid.Dir(0); j < grid.NumDirs && free > 0; j++ {
+		inlink := (start + j) % grid.NumDirs
+		for i, o := range offers {
+			if acc[i] || o.Travel.Opposite() != inlink {
+				continue
+			}
+			acc[i] = true
+			free--
+			break
+		}
+	}
+	return acc
+}
+
+// rotate advances the round-robin counter stored in the node state.
+func rotate(c *dex.NodeCtx) { *c.State = (*c.State + 1) % grid.NumDirs }
+
+// acceptDimOrderReserving is the inqueue policy used by the dimension-order
+// routers over a central queue. On top of the swap rule of
+// acceptRoundRobin, it reserves one queue slot for vertically-travelling
+// packets: a horizontally-travelling offer is accepted only if at least one
+// slot would remain free afterwards.
+//
+// Under dimension order, vertical (column-phase) packets never turn back
+// into a row, so their waiting chains run along a single column and end at
+// a delivery or a free slot — with the reserved slot they always drain, and
+// every node-buffer wait cycle (which necessarily mixes row and column
+// segments) is broken. Head-on conflicts within a class are resolved by
+// the swap rule. This keeps the k >= 2 central-queue router deadlock-free
+// in practice; with k = 1 there is no slot to reserve and dimension-order
+// central-queue routing can wedge, which is precisely why Theorem 15 moves
+// to four per-inlink queues.
+func acceptDimOrderReserving(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDirs]int) []bool {
+	acc := make([]bool, len(offers))
+	for i, o := range offers {
+		if sched[o.Travel.Opposite()] >= 0 {
+			acc[i] = true // swap: occupancy-neutral
+		}
+	}
+	occ := c.QueueLens[0]
+	start := grid.Dir(*c.State % grid.NumDirs)
+	for j := grid.Dir(0); j < grid.NumDirs; j++ {
+		inlink := (start + j) % grid.NumDirs
+		for i, o := range offers {
+			if acc[i] || o.Travel.Opposite() != inlink {
+				continue
+			}
+			if o.Travel.Horizontal() {
+				if occ < c.K-1 {
+					acc[i] = true
+					occ++
+				}
+			} else if occ < c.K {
+				acc[i] = true
+				occ++
+			}
+			break
+		}
+	}
+	return acc
+}

@@ -1,0 +1,149 @@
+package routers
+
+import (
+	"testing"
+
+	"meshroute/internal/dex"
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+func strayConfig(n, k, delta int) sim.Config {
+	return sim.Config{
+		Topo:            grid.NewSquareMesh(n),
+		K:               k,
+		Queues:          sim.CentralQueue,
+		RequireMinimal:  false,
+		MaxStray:        delta,
+		CheckInvariants: true,
+	}
+}
+
+func TestStrayStateEncoding(t *testing.T) {
+	s := straySet(0, 3, grid.West)
+	if strayCount(s) != 3 || strayOrient(s) != grid.West {
+		t.Fatalf("cnt=%d orient=%v", strayCount(s), strayOrient(s))
+	}
+	s = straySet(s, 0, grid.East)
+	if strayCount(s) != 0 || strayOrient(s) != grid.East {
+		t.Fatal("update failed")
+	}
+	if strayOrient(0) != grid.NoDir {
+		t.Fatal("zero state must have no orientation")
+	}
+}
+
+func TestStrayRoutesRandomPermutations(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		for _, delta := range []int{1, 2} {
+			perm := workload.Random(grid.NewSquareMesh(n), int64(n+delta))
+			net := sim.New(strayConfig(n, 3, delta))
+			if err := perm.Place(net); err != nil {
+				t.Fatal(err)
+			}
+			alg := dex.NewAdapter(StrayDimOrder{Delta: delta})
+			if _, err := net.Run(alg, 200*n*n); err != nil {
+				t.Fatalf("n=%d delta=%d: %v", n, delta, err)
+			}
+		}
+	}
+}
+
+// The engine's MaxStray validator guarantees the router honors its budget;
+// this test provokes straying and confirms both that it happens and that
+// the validator stays silent.
+func TestStrayActuallyStrays(t *testing.T) {
+	n, delta := 10, 2
+	net := sim.New(strayConfig(n, 1, delta))
+	topo := net.Topo
+	// A column of northbound packets blocks the turner's destination
+	// column at its turning point.
+	for y := 0; y < 5; y++ {
+		net.MustPlace(net.NewPacket(topo.ID(grid.XY(4, y)), topo.ID(grid.XY(4, 9-y))))
+	}
+	turner := net.NewPacket(topo.ID(grid.XY(0, 2)), topo.ID(grid.XY(4, 8)))
+	net.MustPlace(turner)
+	alg := dex.NewAdapter(StrayDimOrder{Delta: delta})
+	maxX := 0
+	for i := 0; i < 400 && !net.Done(); i++ {
+		if err := net.StepOnce(alg); err != nil {
+			t.Fatal(err)
+		}
+		if c := topo.CoordOf(turner.At); c.X > maxX {
+			maxX = c.X
+		}
+	}
+	if !net.Done() {
+		t.Fatal("did not finish")
+	}
+	if turner.Hops <= topo.Dist(turner.Src, turner.Dst) && maxX <= 4 {
+		t.Log("turner was never forced to stray (acceptable but unexpected)")
+	}
+	if maxX > 4+delta {
+		t.Fatalf("strayed to x=%d, budget allows %d", maxX, 4+delta)
+	}
+}
+
+// With zero budget the router is plain minimal dimension order.
+func TestStrayZeroBudgetNeverStrays(t *testing.T) {
+	n := 12
+	perm := workload.Random(grid.NewSquareMesh(n), 3)
+	net := sim.New(sim.Config{
+		Topo: grid.NewSquareMesh(n), K: 3, Queues: sim.CentralQueue,
+		RequireMinimal: true, CheckInvariants: true, // minimality enforced
+	})
+	if err := perm.Place(net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(dex.NewAdapter(StrayDimOrder{Delta: 0}), 200*n*n); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Packets() {
+		if p.Hops != net.Topo.Dist(p.Src, p.Dst) {
+			t.Fatalf("packet %d nonminimal with zero budget", p.ID)
+		}
+	}
+}
+
+// Engine-level MaxStray rejection: a router exceeding the budget is caught.
+func TestMaxStrayValidatorRejects(t *testing.T) {
+	n := 8
+	net := sim.New(strayConfig(n, 2, 1))
+	topo := net.Topo
+	// Westbound packet: every east move exceeds the rectangle, so the
+	// second one exceeds MaxStray=1.
+	net.MustPlace(net.NewPacket(topo.ID(grid.XY(2, 2)), topo.ID(grid.XY(0, 2))))
+	err := error(nil)
+	for i := 0; i < 10 && err == nil; i++ {
+		err = net.StepOnce(alwaysEast{})
+	}
+	if err == nil {
+		t.Fatal("budget violation must be detected")
+	}
+}
+
+type alwaysEast struct{ greedyStub }
+
+func (alwaysEast) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
+	sched := [grid.NumDirs]int{-1, -1, -1, -1}
+	if len(n.Packets) > 0 {
+		if _, ok := net.Topo.Neighbor(n.ID, grid.East); ok {
+			sched[grid.East] = 0
+		}
+	}
+	return sched
+}
+
+type greedyStub struct{}
+
+func (greedyStub) Name() string                           { return "stub" }
+func (greedyStub) InitNode(net *sim.Network, n *sim.Node) {}
+func (greedyStub) Update(net *sim.Network, n *sim.Node)   {}
+func (greedyStub) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
+	acc := make([]bool, len(offers))
+	for i := range acc {
+		acc[i] = true
+	}
+	return acc
+}

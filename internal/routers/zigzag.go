@@ -1,0 +1,104 @@
+package routers
+
+import (
+	"meshroute/internal/dex"
+	"meshroute/internal/grid"
+)
+
+// ZigZag is the minimal adaptive example sketched in Section 2 of the
+// paper: "each packet moves in one profitable direction until it is blocked
+// by congestion, and then moves in its other profitable direction,
+// continuing this alternation until it reaches its destination."
+//
+// The packet's current preference is kept in the packet state (it is a
+// legal destination-exchangeable state: it is initialized from the packet's
+// profitable outlinks and updated from whether the packet moved). The
+// inqueue policy is round-robin over a central queue, as in DimOrderFIFO.
+// Being adaptive does not save it: Theorem 14 applies, and the constructed
+// permutation forces Ω(n²/k²) steps.
+type ZigZag struct{}
+
+// Name implements dex.Policy.
+func (ZigZag) Name() string { return "zigzag-adaptive" }
+
+// Packet state encoding: low 3 bits hold the preferred direction
+// (grid.NoDir when unset).
+const zzDirMask = 0x7
+
+func zzPref(state uint64) grid.Dir { return grid.Dir(state & zzDirMask) }
+
+func zzSetPref(state uint64, d grid.Dir) uint64 {
+	return (state &^ zzDirMask) | uint64(d)
+}
+
+// zzWant returns the direction the packet wants this step: its preferred
+// direction if still profitable, otherwise the first profitable one.
+func zzWant(v dex.View) grid.Dir {
+	if p := zzPref(v.State); p < grid.NumDirs && v.Profitable.Has(p) {
+		return p
+	}
+	for d := grid.Dir(0); d < grid.NumDirs; d++ {
+		if v.Profitable.Has(d) {
+			return d
+		}
+	}
+	return grid.NoDir
+}
+
+// InitNode seeds each origin packet's preference with its first profitable
+// direction.
+func (ZigZag) InitNode(c *dex.NodeCtx) {
+	for i := range c.Views {
+		c.SetPacketState(i, zzSetPref(c.Views[i].State, zzWant(c.Views[i])))
+	}
+}
+
+// Schedule sends, on each outlink, the earliest-queued packet that wants it.
+func (ZigZag) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
+	sched := [grid.NumDirs]int{-1, -1, -1, -1}
+	for i := range c.Views {
+		want := zzWant(c.Views[i])
+		if want != grid.NoDir && sched[want] < 0 {
+			sched[want] = i
+		}
+	}
+	return sched
+}
+
+// Accept implements the round-robin inqueue policy with the swap rule.
+func (r ZigZag) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
+	return acceptRoundRobin(c, offers, r.Schedule(c))
+}
+
+// Update flips the preference of every packet that failed to move this step
+// (the "blocked by congestion" alternation) and records the preference of
+// packets that just arrived.
+func (ZigZag) Update(c *dex.NodeCtx) {
+	rotate(c)
+	for i := range c.Views {
+		v := c.Views[i]
+		moved := v.ArrivedStep == c.Step && v.Arrived != grid.NoDir
+		pref := zzPref(v.State)
+		if moved {
+			// Keep going the way it was going if still profitable.
+			if !v.Profitable.Has(pref) {
+				c.SetPacketState(i, zzSetPref(v.State, zzWant(v)))
+			}
+			continue
+		}
+		// Blocked: alternate to the other profitable direction if the
+		// packet has two.
+		if v.Profitable.Count() == 2 {
+			for d := grid.Dir(0); d < grid.NumDirs; d++ {
+				if v.Profitable.Has(d) && d != pref {
+					c.SetPacketState(i, zzSetPref(v.State, d))
+					break
+				}
+			}
+		} else if !v.Profitable.Has(pref) {
+			c.SetPacketState(i, zzSetPref(v.State, zzWant(v)))
+		}
+	}
+}
+
+var _ dex.Policy = ZigZag{}

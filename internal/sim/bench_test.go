@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"meshroute/internal/grid"
+)
+
+// BenchmarkStepDense measures one engine step on a fully loaded mesh (the
+// worst case for the per-step scan).
+func BenchmarkStepDense(b *testing.B) {
+	const n = 64
+	mk := func() *Network {
+		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(n-1-x, n-1-y))))
+			}
+		}
+		return net
+	}
+	net := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.Done() {
+			b.StopTimer()
+			net = mk()
+			b.StartTimer()
+		}
+		if err := net.StepOnce(greedyXY{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*n), "packets")
+}
+
+// BenchmarkStepSparse measures the occupied-node optimization: a huge mesh
+// with few packets must cost per-packet, not per-node.
+func BenchmarkStepSparse(b *testing.B) {
+	const n = 512
+	mk := func() *Network {
+		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		for i := 0; i < 64; i++ {
+			net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(i, 0)), net.Topo.ID(grid.XY(i, n-1))))
+		}
+		return net
+	}
+	net := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.Done() {
+			b.StopTimer()
+			net = mk()
+			b.StartTimer()
+		}
+		if err := net.StepOnce(greedyXY{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlace measures placement throughput.
+func BenchmarkPlace(b *testing.B) {
+	const n = 64
+	for i := 0; i < b.N; i++ {
+		net := New(Config{Topo: grid.NewSquareMesh(n), K: 1, Queues: CentralQueue})
+		for id := grid.NodeID(0); int(id) < n*n; id++ {
+			net.MustPlace(net.NewPacket(id, id)) // fixed points: no routing
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+// Metrics accumulates run statistics: makespan, delays, hop counts, and
+// peak queue occupancy (the quantity bounded by k in the paper's model and
+// by the constants of Lemma 28 in the Section 6 algorithm).
+type Metrics struct {
+	// Makespan is the step at which the last packet (so far) was
+	// delivered.
+	Makespan int
+	// TotalHops is the total number of link traversals by delivered and
+	// in-flight packets.
+	TotalHops int
+	// SumDelay is the sum over delivered packets of delivery step minus
+	// injection step.
+	SumDelay int
+	// DeliveredAtStep, if enabled with RecordHistory, holds the number of
+	// deliveries per step (index = step).
+	DeliveredAtStep []int
+	// MaxQueueLen is the maximum end-of-step occupancy of any single
+	// queue (excluding the unbounded origin buffer).
+	MaxQueueLen int
+	// MaxNodeLoad is the maximum end-of-step number of packets in any
+	// node, including the origin buffer.
+	MaxNodeLoad int
+
+	recordHistory bool
+}
+
+// RecordHistory enables per-step delivery counts.
+func (m *Metrics) RecordHistory() { m.recordHistory = true }
+
+func (m *Metrics) noteDelivered(p *Packet, step int) {
+	if step > m.Makespan {
+		m.Makespan = step
+	}
+	m.SumDelay += step - p.InjectStep
+	if m.recordHistory {
+		for len(m.DeliveredAtStep) <= step {
+			m.DeliveredAtStep = append(m.DeliveredAtStep, 0)
+		}
+		m.DeliveredAtStep[step]++
+	}
+}
+
+func (m *Metrics) noteStep(net *Network, step int) {
+	for _, id := range net.occ {
+		node := &net.nodes[id]
+		if len(node.Packets) == 0 {
+			continue
+		}
+		if len(node.Packets) > m.MaxNodeLoad {
+			m.MaxNodeLoad = len(node.Packets)
+		}
+		for tag := uint8(0); tag < numTags; tag++ {
+			if tag == OriginTag && net.Queues == PerInlinkQueues {
+				continue
+			}
+			if int(node.counts[tag]) > m.MaxQueueLen {
+				m.MaxQueueLen = int(node.counts[tag])
+			}
+		}
+	}
+}
+
+// AvgDelay returns the mean delivery delay over delivered packets, or 0.
+func (net *Network) AvgDelay() float64 {
+	if net.deliverd == 0 {
+		return 0
+	}
+	return float64(net.Metrics.SumDelay) / float64(net.deliverd)
+}

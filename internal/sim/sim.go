@@ -1,0 +1,398 @@
+// Package sim implements the synchronous, multi-port packet-routing model of
+// Chinn, Leighton and Tompa (Section 2): an n×n mesh or torus in which every
+// node holds a bounded queue of packets and one step consists of
+//
+//	(a) each node's outqueue policy choosing at most one packet per outlink,
+//	(b) an optional adversary exchange of destination addresses,
+//	(c) each node's inqueue policy accepting or refusing incoming packets,
+//	(d) simultaneous transmission of the accepted packets, and
+//	(e) node- and packet-state updates,
+//
+// exactly the five-part step sequence used in the paper's lower-bound
+// construction. Packets that reach their destination are delivered and leave
+// the network.
+//
+// The engine supports the central-queue model (one queue of capacity K per
+// node) and the four-incoming-queues model of Section 5 / Theorem 15 (one
+// queue of capacity K per inlink). It iterates only over occupied nodes, so
+// long runs on sparse instances cost O(packets) per step.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"meshroute/internal/grid"
+)
+
+// QueueModel selects how a node's storage is organized.
+type QueueModel uint8
+
+const (
+	// CentralQueue gives each node a single queue of capacity K
+	// (the model of Sections 2-4).
+	CentralQueue QueueModel = iota
+	// PerInlinkQueues gives each node four queues of capacity K, one per
+	// inlink (the "Other Queue Types" model of Section 5, used by the
+	// Theorem 15 router). Packets that originate at a node live in a
+	// separate origin buffer that does not count against K.
+	PerInlinkQueues
+)
+
+// Queue tags. For PerInlinkQueues, tags 0..3 are the inlink queues named by
+// the direction the packet came *from* (a packet travelling East arrives in
+// the West queue). OriginTag holds packets that have not yet moved.
+const (
+	// OriginTag is the queue tag of packets still at their source.
+	OriginTag uint8 = 4
+	numTags         = 5
+)
+
+// Packet is a routed message. Routing algorithms under the
+// destination-exchangeability restriction never see Dst directly; they
+// receive profitable-outlink views computed by the engine (package dex).
+type Packet struct {
+	// ID is a unique, dense identifier.
+	ID int32
+	// Src is the node where the packet was injected.
+	Src grid.NodeID
+	// Dst is the destination. The adversary exchange hook may swap the
+	// Dst fields of two packets mid-run (part (b) of a step).
+	Dst grid.NodeID
+	// State is algorithm-owned scratch that travels with the packet.
+	// Under destination-exchangeability it may be updated only from
+	// information listed in Section 2 of the paper.
+	State uint64
+	// Arrived is the direction of travel of the packet's last hop
+	// (NoDir if it has not moved).
+	Arrived grid.Dir
+	// ArrivedStep is the step of the packet's last hop (0 if none).
+	ArrivedStep int
+	// InjectStep is the step at which the packet entered the network.
+	InjectStep int
+	// DeliverStep is the step at which the packet was delivered, or -1.
+	DeliverStep int
+	// Hops counts link traversals.
+	Hops int
+	// At is the node currently holding the packet (its destination once
+	// delivered). Maintained by the engine.
+	At grid.NodeID
+	// QTag is the queue within its current node that holds the packet.
+	QTag uint8
+	// Class is a free tag for algorithms and adversaries (e.g. the
+	// N_i/E_i packet kind in the lower-bound construction).
+	Class uint8
+	// Tag is a free integer tag (e.g. the i index of an N_i-packet).
+	Tag int32
+}
+
+// Delivered reports whether the packet has reached its destination.
+func (p *Packet) Delivered() bool { return p.DeliverStep >= 0 }
+
+// Node is one mesh node: its queue contents and algorithm state.
+type Node struct {
+	// ID is the node identifier.
+	ID grid.NodeID
+	// State is algorithm-owned scratch (e.g. round-robin counters).
+	State uint64
+	// Extra is algorithm-owned rich state for algorithms that need more
+	// than a word; nil for most.
+	Extra interface{}
+	// Packets holds the resident packets in arrival (FIFO) order.
+	// Treat as read-only outside the engine except through Algorithm
+	// callbacks.
+	Packets []*Packet
+
+	counts [numTags]int16
+}
+
+// Len returns the number of resident packets (including the origin buffer).
+func (n *Node) Len() int { return len(n.Packets) }
+
+// QueueLen returns the number of packets in the queue with the given tag.
+func (n *Node) QueueLen(tag uint8) int { return int(n.counts[tag]) }
+
+// NetworkLen returns the number of resident packets excluding the origin
+// buffer (i.e. packets that count against queue capacity in the
+// per-inlink-queue model).
+func (n *Node) NetworkLen() int { return n.Len() - n.QueueLen(OriginTag) }
+
+// Offer describes a packet scheduled to enter a node during part (a) of the
+// current step, presented to the target's inqueue policy in part (c).
+type Offer struct {
+	// P is the scheduled packet.
+	P *Packet
+	// From is the node the packet is coming from.
+	From grid.NodeID
+	// Travel is the direction of travel (the sender's outlink); the
+	// packet arrives on the target's Travel.Opposite() inlink.
+	Travel grid.Dir
+}
+
+// Move describes one scheduled transmission, given to the exchange hook
+// (part (b)).
+type Move struct {
+	// P is the scheduled packet.
+	P *Packet
+	// From is the sending node.
+	From grid.NodeID
+	// To is the target node.
+	To grid.NodeID
+	// Travel is the direction of travel.
+	Travel grid.Dir
+}
+
+// ExchangeFn is the adversary hook invoked between scheduling and
+// acceptance. It may swap the Dst fields of packet pairs (an "exchange" in
+// the paper's sense) but must not move, add or remove packets.
+type ExchangeFn func(net *Network, step int, moves []Move)
+
+// Algorithm is a routing algorithm driven by the engine. Implementations
+// must be deterministic. Destination-exchangeable algorithms should be
+// built with package dex, which restricts the information they can see;
+// general algorithms (e.g. farthest-first) may inspect packets freely.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// InitNode sets up node (and origin packet) state before step 1.
+	// It is called once per node holding at least one packet.
+	InitNode(net *Network, n *Node)
+	// Schedule implements the outqueue policy: for each direction it
+	// returns the index (into n.Packets) of the packet to send on that
+	// outlink, or -1. A packet may be scheduled on at most one outlink,
+	// and only on an existing outlink.
+	Schedule(net *Network, n *Node) [grid.NumDirs]int
+	// Accept implements the inqueue policy: it returns, for each offer,
+	// whether the packet is admitted. It must never overflow a queue.
+	Accept(net *Network, n *Node, offers []Offer) []bool
+	// Update is the part (e) state update, called for every node that
+	// held a packet at the start or end of the step.
+	Update(net *Network, n *Node)
+}
+
+// Config configures a Network.
+type Config struct {
+	// Topo is the mesh or torus.
+	Topo grid.Topology
+	// K is the capacity of each queue (k >= 1 in the paper).
+	K int
+	// Queues selects the queue model.
+	Queues QueueModel
+	// RequireMinimal makes the engine reject any scheduled move that is
+	// not profitable (shortest-path). Enable for minimal routers.
+	RequireMinimal bool
+	// MaxStray, when > 0, bounds how far a packet may move beyond the
+	// rectangle spanned by its source and destination — the class of the
+	// Section 5 "Nonminimal extensions" with δ = MaxStray: every move
+	// must keep the packet within that rectangle inflated by MaxStray in
+	// each direction. 0 means unrestricted (when RequireMinimal is
+	// false). Mesh only.
+	MaxStray int
+	// CheckInvariants enables per-step capacity and sanity checks.
+	CheckInvariants bool
+}
+
+// Network is a mesh with packets in flight. Create with New, populate with
+// Place/QueueInjection, then drive with Run or StepOnce.
+type Network struct {
+	// Topo is the topology the network was built on.
+	Topo grid.Topology
+	// K is the per-queue capacity.
+	K int
+	// Queues is the queue model.
+	Queues QueueModel
+
+	cfg   Config
+	nodes []Node
+	step  int
+
+	occ      []grid.NodeID // occupied node list (maintained sorted)
+	isOcc    []bool
+	total    int
+	deliverd int
+	packets  []*Packet // all placed packets by ID order
+
+	pendingInj map[int][]*Packet // injection step -> packets
+	backlog    [][]*Packet       // per node: injected but not yet in queue
+	exchange   ExchangeFn
+	observer   ObserverFn
+
+	// Metrics accumulates run statistics.
+	Metrics Metrics
+
+	inited  bool
+	nextID  int32
+	scratch stepScratch
+}
+
+type stepScratch struct {
+	moves    []Move
+	byTarget map[grid.NodeID][]Offer
+	targets  []grid.NodeID
+	touched  []grid.NodeID
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.Topo == nil {
+		panic("sim: nil topology")
+	}
+	if cfg.K < 1 {
+		panic(fmt.Sprintf("sim: queue capacity K=%d, need K >= 1", cfg.K))
+	}
+	n := cfg.Topo.N()
+	net := &Network{
+		Topo:       cfg.Topo,
+		K:          cfg.K,
+		Queues:     cfg.Queues,
+		cfg:        cfg,
+		nodes:      make([]Node, n),
+		isOcc:      make([]bool, n),
+		pendingInj: map[int][]*Packet{},
+		backlog:    make([][]*Packet, n),
+	}
+	for i := range net.nodes {
+		net.nodes[i].ID = grid.NodeID(i)
+	}
+	net.scratch.byTarget = make(map[grid.NodeID][]Offer)
+	return net
+}
+
+// Step returns the number of steps executed so far.
+func (net *Network) Step() int { return net.step }
+
+// Node returns the node with the given identifier.
+func (net *Network) Node(id grid.NodeID) *Node { return &net.nodes[id] }
+
+// Packets returns all packets ever placed or injected, in ID order.
+// Delivered packets remain in the slice (with DeliverStep set).
+func (net *Network) Packets() []*Packet { return net.packets }
+
+// TotalPackets returns the number of packets placed or queued for injection.
+func (net *Network) TotalPackets() int { return net.total }
+
+// DeliveredCount returns the number of packets delivered so far.
+func (net *Network) DeliveredCount() int { return net.deliverd }
+
+// Done reports whether every packet has been delivered.
+func (net *Network) Done() bool {
+	return net.deliverd == net.total && len(net.pendingInj) == 0
+}
+
+// SetExchange installs the adversary exchange hook.
+func (net *Network) SetExchange(fn ExchangeFn) { net.exchange = fn }
+
+// StepRecord describes what happened in one step, for observers.
+type StepRecord struct {
+	// Step is the step number.
+	Step int
+	// Moves lists the applied (accepted) transmissions, including
+	// deliveries.
+	Moves []Move
+	// Delivered lists the IDs of packets delivered this step.
+	Delivered []int32
+}
+
+// ObserverFn receives a record after each step. The record and its slices
+// are only valid during the call.
+type ObserverFn func(rec StepRecord)
+
+// SetObserver installs a per-step observer (tracing, visualization).
+func (net *Network) SetObserver(fn ObserverFn) { net.observer = fn }
+
+// NewPacket allocates a packet with the next free ID, routed from src to
+// dst. The packet is not placed; use Place or QueueInjection.
+func (net *Network) NewPacket(src, dst grid.NodeID) *Packet {
+	p := &Packet{
+		ID:          net.nextID,
+		Src:         src,
+		Dst:         dst,
+		Arrived:     grid.NoDir,
+		DeliverStep: -1,
+	}
+	net.nextID++
+	return p
+}
+
+// Place puts a packet at its source node before the run starts. A packet
+// whose source equals its destination is delivered immediately. Placement
+// must respect the queue capacity in the central-queue model.
+func (net *Network) Place(p *Packet) error {
+	if net.step != 0 || net.inited {
+		return errors.New("sim: Place after run started")
+	}
+	net.packets = append(net.packets, p)
+	net.total++
+	p.At = p.Src
+	if p.Src == p.Dst {
+		p.DeliverStep = 0
+		net.deliverd++
+		net.Metrics.noteDelivered(p, 0)
+		return nil
+	}
+	node := &net.nodes[p.Src]
+	tag := OriginTag
+	if net.Queues == CentralQueue {
+		tag = 0
+		if node.QueueLen(0) >= net.K {
+			return fmt.Errorf("sim: node %v over capacity at placement (K=%d)", net.Topo.CoordOf(p.Src), net.K)
+		}
+	}
+	net.attach(node, p, tag)
+	return nil
+}
+
+// MustPlace is Place but panics on error (for tests and generators that
+// construct known-valid instances).
+func (net *Network) MustPlace(p *Packet) {
+	if err := net.Place(p); err != nil {
+		panic(err)
+	}
+}
+
+// QueueInjection schedules a packet to enter the network at the given step
+// (>= 1). The packet waits in an unbounded per-source backlog and enters its
+// source node's queue, in FIFO order, as soon as there is room; the entry
+// time therefore does not depend on the packet's destination, as the
+// dynamic-routing extension in Section 5 requires.
+func (net *Network) QueueInjection(p *Packet, step int) {
+	if step < 1 {
+		step = 1
+	}
+	p.At = p.Src
+	net.packets = append(net.packets, p)
+	net.total++
+	net.pendingInj[step] = append(net.pendingInj[step], p)
+}
+
+// attach adds p to node under queue tag, maintaining occupancy tracking.
+func (net *Network) attach(node *Node, p *Packet, tag uint8) {
+	p.QTag = tag
+	p.At = node.ID
+	node.Packets = append(node.Packets, p)
+	node.counts[tag]++
+	if !net.isOcc[node.ID] {
+		net.isOcc[node.ID] = true
+		net.occ = append(net.occ, node.ID)
+	}
+}
+
+// detach removes the packet at index i from the node. Occupancy lists are
+// compacted lazily by the step loop.
+func (net *Network) detach(node *Node, i int) *Packet {
+	p := node.Packets[i]
+	node.counts[p.QTag]--
+	node.Packets = append(node.Packets[:i], node.Packets[i+1:]...)
+	return p
+}
+
+// capOf returns the capacity of the queue with the given tag.
+func (net *Network) capOf(tag uint8) int {
+	if tag == OriginTag {
+		if net.Queues == PerInlinkQueues {
+			return int(^uint(0) >> 1) // unbounded origin buffer
+		}
+		return net.K
+	}
+	return net.K
+}

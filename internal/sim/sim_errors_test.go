@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"meshroute/internal/grid"
+)
+
+type badIndexAlg struct{ greedyXY }
+
+func (badIndexAlg) Schedule(net *Network, n *Node) [grid.NumDirs]int {
+	return [grid.NumDirs]int{99, -1, -1, -1}
+}
+
+func TestOutOfRangeScheduleRejected(t *testing.T) {
+	net := newTestNet(t, 6, 2)
+	net.MustPlace(net.NewPacket(0, 7))
+	if err := net.StepOnce(badIndexAlg{}); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+}
+
+type offMeshAlg struct{ greedyXY }
+
+func (offMeshAlg) Schedule(net *Network, n *Node) [grid.NumDirs]int {
+	sched := [grid.NumDirs]int{-1, -1, -1, -1}
+	// Schedule on whatever outlink does NOT exist.
+	for d := grid.Dir(0); d < grid.NumDirs; d++ {
+		if _, ok := net.Topo.Neighbor(n.ID, d); !ok {
+			sched[d] = 0
+			return sched
+		}
+	}
+	return sched
+}
+
+func TestMissingOutlinkRejected(t *testing.T) {
+	net := newTestNet(t, 6, 2)
+	// Corner node: two missing outlinks.
+	net.MustPlace(net.NewPacket(0, 7))
+	if err := net.StepOnce(offMeshAlg{}); err == nil || !strings.Contains(err.Error(), "missing outlink") {
+		t.Fatalf("want missing-outlink error, got %v", err)
+	}
+}
+
+func TestExchangeBreakingMinimalityRejected(t *testing.T) {
+	net := newTestNet(t, 8, 2)
+	topo := net.Topo
+	a := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(5, 0)))
+	net.MustPlace(a)
+	net.SetExchange(func(n *Network, step int, moves []Move) {
+		// Retarget the moving packet BEHIND itself: the scheduled
+		// eastward move becomes non-minimal.
+		a.Dst = topo.ID(grid.XY(0, 3))
+	})
+	if err := net.StepOnce(greedyXY{}); err == nil || !strings.Contains(err.Error(), "non-minimal") {
+		t.Fatalf("want exchange-minimality error, got %v", err)
+	}
+}
+
+func TestAcceptLengthMismatchRejected(t *testing.T) {
+	net := newTestNet(t, 6, 2)
+	topo := net.Topo
+	net.MustPlace(net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(3, 0))))
+	net.MustPlace(net.NewPacket(topo.ID(grid.XY(2, 0)), topo.ID(grid.XY(2, 3))))
+	// Force an offer to a non-destination node so Accept runs.
+	if err := net.StepOnce(badAcceptAlg{}); err == nil || !strings.Contains(err.Error(), "decisions") {
+		t.Fatalf("want accept-length error, got %v", err)
+	}
+}
+
+type badAcceptAlg struct{ greedyXY }
+
+func (badAcceptAlg) Accept(net *Network, n *Node, offers []Offer) []bool {
+	return nil // wrong length
+}
+
+func TestPlaceAfterRunRejected(t *testing.T) {
+	net := newTestNet(t, 6, 2)
+	net.MustPlace(net.NewPacket(0, 7))
+	if err := net.StepOnce(greedyXY{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Place(net.NewPacket(1, 8)); err == nil {
+		t.Fatal("Place after run start must fail")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 must panic")
+		}
+	}()
+	New(Config{Topo: grid.NewSquareMesh(4), K: 0})
+}
+
+func TestNewPanicsOnNilTopo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil topo must panic")
+		}
+	}()
+	New(Config{K: 1})
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+
+	"meshroute/internal/grid"
+)
+
+// Run executes steps until every packet is delivered or maxSteps is
+// exhausted, returning the number of steps executed in this call. It is an
+// error to exceed maxSteps with undelivered packets unless allowPartial.
+func (net *Network) Run(alg Algorithm, maxSteps int) (int, error) {
+	return net.run(alg, maxSteps, false)
+}
+
+// RunPartial executes up to maxSteps steps, stopping early if all packets
+// are delivered; unlike Run it does not treat hitting the step limit as an
+// error. It returns the number of steps executed in this call.
+func (net *Network) RunPartial(alg Algorithm, maxSteps int) (int, error) {
+	return net.run(alg, maxSteps, true)
+}
+
+func (net *Network) run(alg Algorithm, maxSteps int, allowPartial bool) (int, error) {
+	start := net.step
+	for !net.Done() {
+		if net.step-start >= maxSteps {
+			if allowPartial {
+				return net.step - start, nil
+			}
+			return net.step - start, fmt.Errorf("sim: %s did not deliver all packets in %d steps (%d/%d delivered)",
+				alg.Name(), maxSteps, net.deliverd, net.total)
+		}
+		if err := net.StepOnce(alg); err != nil {
+			return net.step - start, err
+		}
+	}
+	return net.step - start, nil
+}
+
+// StepOnce executes one synchronous step: outqueue scheduling, adversary
+// exchanges, inqueue acceptance, transmission, and state update.
+func (net *Network) StepOnce(alg Algorithm) error {
+	if !net.inited {
+		net.compactOcc()
+		for _, id := range net.occ {
+			alg.InitNode(net, &net.nodes[id])
+		}
+		net.inited = true
+	}
+	net.step++
+	t := net.step
+
+	net.injectPending(t)
+	net.compactOcc()
+
+	// Part (a): outqueue policies schedule packets.
+	moves := net.scratch.moves[:0]
+	for _, id := range net.occ {
+		node := &net.nodes[id]
+		if len(node.Packets) == 0 {
+			continue
+		}
+		sched := alg.Schedule(net, node)
+		var used [grid.NumDirs]int
+		for i := range used {
+			used[i] = -1
+		}
+		for d := grid.Dir(0); d < grid.NumDirs; d++ {
+			idx := sched[d]
+			if idx < 0 {
+				continue
+			}
+			if idx >= len(node.Packets) {
+				return fmt.Errorf("sim: %s scheduled out-of-range packet index %d at node %v",
+					alg.Name(), idx, net.Topo.CoordOf(id))
+			}
+			for dd := grid.Dir(0); dd < d; dd++ {
+				if used[dd] == idx {
+					return fmt.Errorf("sim: %s scheduled packet %d on two outlinks at node %v",
+						alg.Name(), node.Packets[idx].ID, net.Topo.CoordOf(id))
+				}
+			}
+			used[d] = idx
+			p := node.Packets[idx]
+			nb, ok := net.Topo.Neighbor(id, d)
+			if !ok {
+				return fmt.Errorf("sim: %s scheduled packet %d on missing outlink %v of node %v",
+					alg.Name(), p.ID, d, net.Topo.CoordOf(id))
+			}
+			if net.cfg.RequireMinimal && !net.Topo.Profitable(id, p.Dst).Has(d) {
+				return fmt.Errorf("sim: %s scheduled non-minimal move of packet %d: %v -> %v toward %v",
+					alg.Name(), p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(nb), net.Topo.CoordOf(p.Dst))
+			}
+			if !net.cfg.RequireMinimal && net.cfg.MaxStray > 0 && !net.withinStray(p, nb) {
+				return fmt.Errorf("sim: %s moved packet %d more than %d beyond its source-destination rectangle",
+					alg.Name(), p.ID, net.cfg.MaxStray)
+			}
+			moves = append(moves, Move{P: p, From: id, To: nb, Travel: d})
+		}
+	}
+	net.scratch.moves = moves
+
+	// Part (b): adversary exchanges destination addresses.
+	if net.exchange != nil {
+		net.exchange(net, t, moves)
+		if net.cfg.RequireMinimal {
+			// Exchanges must preserve minimality of the already
+			// scheduled moves (they do in the paper's construction;
+			// verify here).
+			for _, m := range moves {
+				if !net.Topo.Profitable(m.From, m.P.Dst).Has(m.Travel) {
+					return fmt.Errorf("sim: exchange made scheduled move of packet %d non-minimal", m.P.ID)
+				}
+			}
+		}
+	}
+
+	// Part (c): inqueue policies accept or refuse. Packets scheduled into
+	// their destination are delivered on arrival and occupy no queue
+	// space, so they bypass the inqueue policy.
+	type arrival struct {
+		p   *Packet
+		to  grid.NodeID
+		dir grid.Dir
+	}
+	var arrivals []arrival
+	byTarget := net.scratch.byTarget
+	targets := net.scratch.targets[:0]
+	for _, m := range moves {
+		if m.To == m.P.Dst {
+			arrivals = append(arrivals, arrival{p: m.P, to: m.To, dir: m.Travel})
+			continue
+		}
+		if _, seen := byTarget[m.To]; !seen {
+			targets = append(targets, m.To)
+		}
+		byTarget[m.To] = append(byTarget[m.To], Offer{P: m.P, From: m.From, Travel: m.Travel})
+	}
+	net.scratch.targets = targets
+	for _, to := range targets {
+		offers := byTarget[to]
+		acc := alg.Accept(net, &net.nodes[to], offers)
+		if len(acc) != len(offers) {
+			return fmt.Errorf("sim: %s Accept returned %d decisions for %d offers", alg.Name(), len(acc), len(offers))
+		}
+		for i, ok := range acc {
+			if ok {
+				arrivals = append(arrivals, arrival{p: offers[i].P, to: to, dir: offers[i].Travel})
+			}
+		}
+		delete(byTarget, to)
+	}
+
+	// Part (d): simultaneous transmission. Remove all movers first, then
+	// insert, so departures free space for arrivals within the step.
+	for _, a := range arrivals {
+		node := net.findHolder(a.p, a.to, a.dir)
+		if node == nil {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", a.p.ID)
+		}
+		idx := -1
+		for i, q := range node.Packets {
+			if q == a.p {
+				idx = i
+				break
+			}
+		}
+		net.detach(node, idx)
+	}
+	for _, a := range arrivals {
+		p := a.p
+		p.Hops++
+		net.Metrics.TotalHops++
+		p.Arrived = a.dir
+		p.ArrivedStep = t
+		if a.to == p.Dst {
+			p.At = a.to
+			p.DeliverStep = t
+			net.deliverd++
+			net.Metrics.noteDelivered(p, t)
+			continue
+		}
+		tag := uint8(0)
+		if net.Queues == PerInlinkQueues {
+			tag = uint8(a.dir.Opposite())
+		}
+		net.attach(&net.nodes[a.to], p, tag)
+	}
+
+	// Capacity invariant: end-of-step queue occupancy within bounds.
+	if net.cfg.CheckInvariants {
+		for _, a := range arrivals {
+			if a.to == a.p.Dst {
+				continue
+			}
+			node := &net.nodes[a.to]
+			for tag := uint8(0); tag < numTags; tag++ {
+				if int(node.counts[tag]) > net.capOf(tag) {
+					return fmt.Errorf("sim: %s overflowed queue %d of node %v (%d > %d)",
+						alg.Name(), tag, net.Topo.CoordOf(a.to), node.counts[tag], net.capOf(tag))
+				}
+			}
+		}
+	}
+
+	// Part (e): state updates on every node that held packets this step.
+	for _, id := range net.occ {
+		alg.Update(net, &net.nodes[id])
+	}
+
+	net.Metrics.noteStep(net, t)
+
+	if net.observer != nil {
+		rec := StepRecord{Step: t}
+		for _, a := range arrivals {
+			src, _ := net.Topo.Neighbor(a.to, a.dir.Opposite())
+			rec.Moves = append(rec.Moves, Move{P: a.p, From: src, To: a.to, Travel: a.dir})
+			if a.p.Delivered() && a.p.DeliverStep == t {
+				rec.Delivered = append(rec.Delivered, a.p.ID)
+			}
+		}
+		net.observer(rec)
+	}
+	return nil
+}
+
+// withinStray reports whether node nb lies within the packet's
+// source-destination rectangle inflated by MaxStray.
+func (net *Network) withinStray(p *Packet, nb grid.NodeID) bool {
+	s, d, c := net.Topo.CoordOf(p.Src), net.Topo.CoordOf(p.Dst), net.Topo.CoordOf(nb)
+	loX, hiX := s.X, d.X
+	if loX > hiX {
+		loX, hiX = hiX, loX
+	}
+	loY, hiY := s.Y, d.Y
+	if loY > hiY {
+		loY, hiY = hiY, loY
+	}
+	m := net.cfg.MaxStray
+	return c.X >= loX-m && c.X <= hiX+m && c.Y >= loY-m && c.Y <= hiY+m
+}
+
+// findHolder verifies that packet p is resident at the sender implied by the
+// arrival (the node on the opposite side of the travel direction).
+func (net *Network) findHolder(p *Packet, to grid.NodeID, travel grid.Dir) *Node {
+	src, ok := net.Topo.Neighbor(to, travel.Opposite())
+	if !ok {
+		return nil
+	}
+	node := &net.nodes[src]
+	for _, q := range node.Packets {
+		if q == p {
+			return node
+		}
+	}
+	return nil
+}
+
+// injectPending moves due injections into per-node backlogs and drains
+// backlogs into queues where space permits (FIFO, destination-independent).
+func (net *Network) injectPending(t int) {
+	if ps, ok := net.pendingInj[t]; ok {
+		for _, p := range ps {
+			net.backlog[p.Src] = append(net.backlog[p.Src], p)
+		}
+		delete(net.pendingInj, t)
+	}
+	for id := range net.backlog {
+		bl := net.backlog[id]
+		if len(bl) == 0 {
+			continue
+		}
+		node := &net.nodes[id]
+		for len(bl) > 0 {
+			p := bl[0]
+			if p.Src == p.Dst {
+				p.At = p.Dst
+				p.InjectStep = t
+				p.DeliverStep = t
+				net.deliverd++
+				net.Metrics.noteDelivered(p, t)
+				bl = bl[1:]
+				continue
+			}
+			var tag uint8
+			if net.Queues == PerInlinkQueues {
+				tag = OriginTag
+			} else {
+				tag = 0
+				if node.QueueLen(0) >= net.K {
+					break
+				}
+			}
+			p.InjectStep = t
+			net.attach(node, p, tag)
+			bl = bl[1:]
+		}
+		net.backlog[id] = bl
+	}
+}
+
+// compactOcc drops empty nodes from the occupied list.
+func (net *Network) compactOcc() {
+	w := 0
+	for _, id := range net.occ {
+		if len(net.nodes[id].Packets) > 0 {
+			net.occ[w] = id
+			w++
+		} else {
+			net.isOcc[id] = false
+		}
+	}
+	net.occ = net.occ[:w]
+}
+
+// Occupied returns the identifiers of nodes currently holding packets, in
+// deterministic (not sorted) order. The returned slice is owned by the
+// engine; do not modify it.
+func (net *Network) Occupied() []grid.NodeID {
+	net.compactOcc()
+	return net.occ
+}

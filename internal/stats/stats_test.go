@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "k", "time")
+	tb.AddRow(120, 1, 96)
+	tb.AddRow(240, 2, 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "time") || !strings.Contains(out, "3.14") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	// Columns align: all lines equal length.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestPowerFitExact(t *testing.T) {
+	xs := []float64{10, 20, 40, 80}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x // y = 3x²
+	}
+	a, b, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-2) > 1e-9 || math.Abs(a-3) > 1e-9 {
+		t.Fatalf("fit a=%v b=%v, want 3, 2", a, b)
+	}
+}
+
+func TestPowerFitQuick(t *testing.T) {
+	f := func(expRaw uint8, coefRaw uint8) bool {
+		b := 0.5 + float64(expRaw%30)/10 // 0.5..3.4
+		a := 1 + float64(coefRaw%50)     // 1..50
+		xs := []float64{8, 16, 32, 64, 128}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a * math.Pow(x, b)
+		}
+		ga, gb, err := PowerFit(xs, ys)
+		return err == nil && math.Abs(ga-a) < 1e-6*a && math.Abs(gb-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFitErrors(t *testing.T) {
+	if _, _, err := PowerFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample must fail")
+	}
+	if _, _, err := PowerFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("negative samples must fail")
+	}
+	if _, _, err := PowerFit([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x must fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3})
+	if s.N != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Fatalf("even median %v", even.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}

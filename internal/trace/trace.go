@@ -1,0 +1,157 @@
+// Package trace records and analyzes routing runs. A Recorder attaches to
+// the simulator's observer hook and writes one JSON line per step (packet
+// moves and deliveries); an Analysis aggregates a trace into per-link
+// utilization, per-node traffic, and delivery curves — the raw material
+// for inspecting where a hard permutation actually hurts (the constructed
+// permutations concentrate traffic on the box boundaries, which the
+// analysis makes visible).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+)
+
+// MoveRecord is one transmitted packet in one step.
+type MoveRecord struct {
+	// Packet is the packet ID.
+	Packet int32 `json:"p"`
+	// From and To are node IDs.
+	From grid.NodeID `json:"f"`
+	To   grid.NodeID `json:"t"`
+	// Dir is the travel direction.
+	Dir grid.Dir `json:"d"`
+}
+
+// StepTrace is the serialized form of one step.
+type StepTrace struct {
+	// Step is the step number.
+	Step int `json:"s"`
+	// Moves lists applied transmissions.
+	Moves []MoveRecord `json:"m,omitempty"`
+	// Delivered lists delivered packet IDs.
+	Delivered []int32 `json:"dl,omitempty"`
+}
+
+// Recorder streams step traces to a writer as JSON lines.
+type Recorder struct {
+	enc *json.Encoder
+	w   *bufio.Writer
+	err error
+	n   int
+}
+
+// NewRecorder creates a recorder writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{enc: json.NewEncoder(bw), w: bw}
+}
+
+// Attach installs the recorder on a network.
+func (r *Recorder) Attach(net *sim.Network) {
+	net.SetObserver(func(rec sim.StepRecord) {
+		if r.err != nil {
+			return
+		}
+		st := StepTrace{Step: rec.Step, Delivered: rec.Delivered}
+		for _, m := range rec.Moves {
+			st.Moves = append(st.Moves, MoveRecord{Packet: m.P.ID, From: m.From, To: m.To, Dir: m.Travel})
+		}
+		if err := r.enc.Encode(st); err != nil {
+			r.err = err
+			return
+		}
+		r.n++
+	})
+}
+
+// Steps returns the number of recorded steps.
+func (r *Recorder) Steps() int { return r.n }
+
+// Close flushes the recorder and reports any write error.
+func (r *Recorder) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Read parses a JSON-lines trace.
+func Read(rd io.Reader) ([]StepTrace, error) {
+	dec := json.NewDecoder(rd)
+	var out []StepTrace
+	for dec.More() {
+		var st StepTrace
+		if err := dec.Decode(&st); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Analysis aggregates a trace.
+type Analysis struct {
+	// Steps is the number of steps in the trace.
+	Steps int
+	// TotalMoves counts all transmissions.
+	TotalMoves int
+	// Delivered counts deliveries.
+	Delivered int
+	// LinkUse maps each directed link (from, dir) to its transmission
+	// count.
+	LinkUse map[Link]int
+	// NodeTraffic counts transmissions out of each node.
+	NodeTraffic map[grid.NodeID]int
+	// DeliveredAt maps step -> deliveries in that step.
+	DeliveredAt map[int]int
+}
+
+// Link is one directed mesh link.
+type Link struct {
+	// From is the sending node; Dir the travel direction.
+	From grid.NodeID
+	Dir  grid.Dir
+}
+
+// Analyze aggregates step traces.
+func Analyze(steps []StepTrace) *Analysis {
+	a := &Analysis{
+		LinkUse:     map[Link]int{},
+		NodeTraffic: map[grid.NodeID]int{},
+		DeliveredAt: map[int]int{},
+	}
+	for _, st := range steps {
+		if st.Step > a.Steps {
+			a.Steps = st.Step
+		}
+		a.TotalMoves += len(st.Moves)
+		a.Delivered += len(st.Delivered)
+		if len(st.Delivered) > 0 {
+			a.DeliveredAt[st.Step] += len(st.Delivered)
+		}
+		for _, m := range st.Moves {
+			a.LinkUse[Link{From: m.From, Dir: m.Dir}]++
+			a.NodeTraffic[m.From]++
+		}
+	}
+	return a
+}
+
+// HottestLink returns the most used link and its count (zero value if the
+// trace is empty).
+func (a *Analysis) HottestLink() (Link, int) {
+	var best Link
+	bestN := 0
+	for l, n := range a.LinkUse {
+		if n > bestN || (n == bestN && (l.From < best.From || (l.From == best.From && l.Dir < best.Dir))) {
+			best, bestN = l, n
+		}
+	}
+	return best, bestN
+}

@@ -1,0 +1,218 @@
+// Package workload generates routing problem instances: the partial
+// permutations used throughout the paper (Section 1: "one of the simplest
+// benchmarks for a router's performance is how it performs in the worst
+// case on static one-to-one (or partial permutation) routing problems"),
+// structured hard permutations, h-h instances (Section 5), and random
+// traffic for average-case framing (Section 1.1).
+//
+// All generators are deterministic given their arguments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+)
+
+// Permutation is a partial permutation routing instance: Pairs[i] routes
+// one packet from Src to Dst. Each node appears at most once as a source
+// and at most once as a destination.
+type Permutation struct {
+	// Pairs lists the source/destination pairs.
+	Pairs []Pair
+}
+
+// Pair is one packet's endpoints.
+type Pair struct {
+	// Src is the source node.
+	Src grid.NodeID
+	// Dst is the destination node.
+	Dst grid.NodeID
+}
+
+// Len returns the number of packets.
+func (p *Permutation) Len() int { return len(p.Pairs) }
+
+// Validate checks the one-to-one property.
+func (p *Permutation) Validate() error {
+	srcs := map[grid.NodeID]bool{}
+	dsts := map[grid.NodeID]bool{}
+	for _, pr := range p.Pairs {
+		if srcs[pr.Src] {
+			return fmt.Errorf("workload: duplicate source %d", pr.Src)
+		}
+		if dsts[pr.Dst] {
+			return fmt.Errorf("workload: duplicate destination %d", pr.Dst)
+		}
+		srcs[pr.Src] = true
+		dsts[pr.Dst] = true
+	}
+	return nil
+}
+
+// Place places one packet per pair into the network.
+func (p *Permutation) Place(net *sim.Network) error {
+	for _, pr := range p.Pairs {
+		if err := net.Place(net.NewPacket(pr.Src, pr.Dst)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Random returns a uniformly random full permutation of the topology's
+// nodes (fixed points allowed, as in the paper's model — those packets are
+// delivered immediately).
+func Random(topo grid.Topology, seed int64) *Permutation {
+	rng := rand.New(rand.NewSource(seed))
+	n := topo.N()
+	dst := rng.Perm(n)
+	p := &Permutation{Pairs: make([]Pair, 0, n)}
+	for s := 0; s < n; s++ {
+		p.Pairs = append(p.Pairs, Pair{Src: grid.NodeID(s), Dst: grid.NodeID(dst[s])})
+	}
+	return p
+}
+
+// RandomDestinations returns a traffic instance where every node sends one
+// packet to an independently uniform destination (not a permutation) — the
+// average-case setting of Leighton cited in Section 1.1.
+func RandomDestinations(topo grid.Topology, seed int64) *Permutation {
+	rng := rand.New(rand.NewSource(seed))
+	n := topo.N()
+	p := &Permutation{Pairs: make([]Pair, 0, n)}
+	for s := 0; s < n; s++ {
+		p.Pairs = append(p.Pairs, Pair{Src: grid.NodeID(s), Dst: grid.NodeID(rng.Intn(n))})
+	}
+	return p
+}
+
+// Transpose returns the matrix-transpose permutation (x,y) -> (y,x).
+func Transpose(topo grid.Topology) *Permutation {
+	if topo.Width() != topo.Height() {
+		panic("workload: transpose needs a square topology")
+	}
+	p := &Permutation{}
+	for id := grid.NodeID(0); int(id) < topo.N(); id++ {
+		c := topo.CoordOf(id)
+		p.Pairs = append(p.Pairs, Pair{Src: id, Dst: topo.ID(grid.XY(c.Y, c.X))})
+	}
+	return p
+}
+
+// Reversal returns the full-reversal permutation
+// (x,y) -> (W-1-x, H-1-y), a classic congestion-heavy instance.
+func Reversal(topo grid.Topology) *Permutation {
+	p := &Permutation{}
+	for id := grid.NodeID(0); int(id) < topo.N(); id++ {
+		c := topo.CoordOf(id)
+		p.Pairs = append(p.Pairs, Pair{
+			Src: id,
+			Dst: topo.ID(grid.XY(topo.Width()-1-c.X, topo.Height()-1-c.Y)),
+		})
+	}
+	return p
+}
+
+// Rotation returns the torus-shift permutation
+// (x,y) -> ((x+dx) mod W, (y+dy) mod H).
+func Rotation(topo grid.Topology, dx, dy int) *Permutation {
+	p := &Permutation{}
+	w, h := topo.Width(), topo.Height()
+	for id := grid.NodeID(0); int(id) < topo.N(); id++ {
+		c := topo.CoordOf(id)
+		p.Pairs = append(p.Pairs, Pair{
+			Src: id,
+			Dst: topo.ID(grid.XY(((c.X+dx)%w+w)%w, ((c.Y+dy)%h+h)%h)),
+		})
+	}
+	return p
+}
+
+// BitReversal returns the bit-reversal permutation on an n×n mesh with n a
+// power of two: each coordinate's bits are reversed.
+func BitReversal(topo grid.Topology) *Permutation {
+	n := topo.Width()
+	if n != topo.Height() || n&(n-1) != 0 {
+		panic("workload: bit reversal needs a square power-of-two mesh")
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	rev := func(x int) int {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if x&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		return r
+	}
+	p := &Permutation{}
+	for id := grid.NodeID(0); int(id) < topo.N(); id++ {
+		c := topo.CoordOf(id)
+		p.Pairs = append(p.Pairs, Pair{Src: id, Dst: topo.ID(grid.XY(rev(c.X), rev(c.Y)))})
+	}
+	return p
+}
+
+// HH is an h-h routing instance (Section 5): each node sends at most h
+// packets and receives at most h packets.
+type HH struct {
+	// H is the per-node send/receive bound.
+	H int
+	// Pairs lists the packets.
+	Pairs []Pair
+}
+
+// RandomHH returns a random h-h instance built from h independent random
+// permutations.
+func RandomHH(topo grid.Topology, h int, seed int64) *HH {
+	out := &HH{H: h}
+	for i := 0; i < h; i++ {
+		p := Random(topo, seed+int64(i)*7919)
+		out.Pairs = append(out.Pairs, p.Pairs...)
+	}
+	return out
+}
+
+// Validate checks the h-h property.
+func (hh *HH) Validate() error {
+	snd := map[grid.NodeID]int{}
+	rcv := map[grid.NodeID]int{}
+	for _, pr := range hh.Pairs {
+		snd[pr.Src]++
+		rcv[pr.Dst]++
+		if snd[pr.Src] > hh.H {
+			return fmt.Errorf("workload: node %d sends more than %d", pr.Src, hh.H)
+		}
+		if rcv[pr.Dst] > hh.H {
+			return fmt.Errorf("workload: node %d receives more than %d", pr.Dst, hh.H)
+		}
+	}
+	return nil
+}
+
+// Inject queues the h-h instance into the network as step-1 injections
+// (the dynamic setting of Section 5, needed when h exceeds the queue
+// capacity k: extra packets wait in the source backlog and enter in FIFO
+// order, independent of destination).
+func (hh *HH) Inject(net *sim.Network) {
+	for _, pr := range hh.Pairs {
+		net.QueueInjection(net.NewPacket(pr.Src, pr.Dst), 1)
+	}
+}
+
+// Place places the h-h instance directly (requires k >= h in the
+// central-queue model).
+func (hh *HH) Place(net *sim.Network) error {
+	for _, pr := range hh.Pairs {
+		if err := net.Place(net.NewPacket(pr.Src, pr.Dst)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+)
+
+func TestHHPlaceRequiresCapacity(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	hh := RandomHH(topo, 2, 1)
+	// k=1 central queue cannot hold 2 origin packets per node.
+	small := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	if err := hh.Place(small); err == nil {
+		t.Fatal("placing 2-2 traffic into k=1 must fail")
+	}
+	big := sim.New(sim.Config{Topo: topo, K: 2, Queues: sim.CentralQueue})
+	if err := hh.Place(big); err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalPackets() != 32 {
+		t.Fatalf("placed %d", big.TotalPackets())
+	}
+}
+
+func TestPlaceErrorPropagates(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	p := &Permutation{Pairs: []Pair{{Src: 0, Dst: 5}, {Src: 0, Dst: 6}}}
+	if err := p.Place(net); err == nil {
+		t.Fatal("double placement on k=1 must fail")
+	}
+}
+
+func TestRandomDestinationsShape(t *testing.T) {
+	topo := grid.NewSquareMesh(8)
+	p := RandomDestinations(topo, 3)
+	if p.Len() != 64 {
+		t.Fatalf("len %d", p.Len())
+	}
+	srcs := map[grid.NodeID]bool{}
+	for _, pr := range p.Pairs {
+		if srcs[pr.Src] {
+			t.Fatal("duplicate source")
+		}
+		srcs[pr.Src] = true
+	}
+	// Destinations are independent, so collisions are expected at n²=64:
+	// the instance is NOT a permutation with overwhelming probability.
+	if err := p.Validate(); err == nil {
+		t.Log("random destinations happened to be a permutation (astronomically unlikely)")
+	}
+}
+
+func TestReversalInvolution(t *testing.T) {
+	topo := grid.NewSquareMesh(5)
+	p := Reversal(topo)
+	m := map[grid.NodeID]grid.NodeID{}
+	for _, pr := range p.Pairs {
+		m[pr.Src] = pr.Dst
+	}
+	for s, d := range m {
+		if m[d] != s {
+			t.Fatal("reversal must be an involution")
+		}
+	}
+	// Odd n has one fixed point (the center).
+	fixed := 0
+	for s, d := range m {
+		if s == d {
+			fixed++
+		}
+	}
+	if fixed != 1 {
+		t.Fatalf("5x5 reversal has %d fixed points, want 1", fixed)
+	}
+}

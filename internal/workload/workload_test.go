@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+)
+
+func TestRandomIsPermutation(t *testing.T) {
+	topo := grid.NewSquareMesh(8)
+	p := Random(topo, 1)
+	if p.Len() != 64 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	topo := grid.NewSquareMesh(8)
+	a, b := Random(topo, 7), Random(topo, 7)
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("same seed must give same permutation")
+		}
+	}
+	c := Random(topo, 8)
+	same := true
+	for i := range a.Pairs {
+		if a.Pairs[i] != c.Pairs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestStructuredPermutationsValid(t *testing.T) {
+	topo := grid.NewSquareMesh(8)
+	for name, p := range map[string]*Permutation{
+		"transpose":   Transpose(topo),
+		"reversal":    Reversal(topo),
+		"rotation":    Rotation(topo, 3, 5),
+		"bitreversal": BitReversal(topo),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Len() != 64 {
+			t.Errorf("%s: len %d", name, p.Len())
+		}
+	}
+}
+
+func TestTransposeMapsCorrectly(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	p := Transpose(topo)
+	for _, pr := range p.Pairs {
+		s, d := topo.CoordOf(pr.Src), topo.CoordOf(pr.Dst)
+		if s.X != d.Y || s.Y != d.X {
+			t.Fatalf("transpose wrong: %v -> %v", s, d)
+		}
+	}
+}
+
+func TestBitReversalSelfInverse(t *testing.T) {
+	topo := grid.NewSquareMesh(8)
+	p := BitReversal(topo)
+	m := map[grid.NodeID]grid.NodeID{}
+	for _, pr := range p.Pairs {
+		m[pr.Src] = pr.Dst
+	}
+	for s, d := range m {
+		if m[d] != s {
+			t.Fatalf("bit reversal must be an involution: %d -> %d -> %d", s, d, m[d])
+		}
+	}
+}
+
+func TestRotationQuickIsPermutation(t *testing.T) {
+	topo := grid.NewSquareMesh(6)
+	f := func(dx, dy int8) bool {
+		p := Rotation(topo, int(dx), int(dy))
+		return p.Validate() == nil && p.Len() == 36
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHHValidate(t *testing.T) {
+	topo := grid.NewSquareMesh(6)
+	hh := RandomHH(topo, 3, 42)
+	if err := hh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hh.Pairs) != 3*36 {
+		t.Fatalf("len = %d", len(hh.Pairs))
+	}
+	bad := &HH{H: 1, Pairs: []Pair{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("over-sending instance must fail validation")
+	}
+}
+
+func TestPlaceIntoNetwork(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	p := Random(topo, 3)
+	if err := p.Place(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalPackets() != 16 {
+		t.Fatalf("placed %d", net.TotalPackets())
+	}
+}
+
+func TestHHInjectQueues(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	hh := RandomHH(topo, 2, 5)
+	hh.Inject(net)
+	if net.TotalPackets() != 32 {
+		t.Fatalf("queued %d", net.TotalPackets())
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	rect := grid.NewMesh(4, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transpose on rectangle must panic")
+		}
+	}()
+	Transpose(rect)
+}
+
+func TestBitReversalPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bit reversal on 6x6 must panic")
+		}
+	}()
+	BitReversal(grid.NewSquareMesh(6))
+}

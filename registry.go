@@ -1,0 +1,156 @@
+package meshroute
+
+import (
+	"fmt"
+	"sort"
+
+	"meshroute/internal/dex"
+	"meshroute/internal/routers"
+	"meshroute/internal/sim"
+)
+
+// Router names accepted by Route, HardPermutation and LookupRouter.
+const (
+	// RouterDimOrder is dimension-order routing with FIFO outqueue and
+	// round-robin inqueue over a central queue — the paper's canonical
+	// destination-exchangeable example (Section 2). Use k >= 2.
+	RouterDimOrder = "dimorder"
+	// RouterZigZag is the minimal adaptive alternation router of
+	// Section 2: move in one profitable direction until blocked, then
+	// the other. Destination-exchangeable. Use k >= 2.
+	RouterZigZag = "zigzag"
+	// RouterThm15 is the Theorem 15 bounded-queue dimension-order
+	// router: four incoming queues of size k, straight priority,
+	// O(n²/k + n) worst case. Works for every k >= 1.
+	RouterThm15 = "thm15"
+	// RouterFarthestFirst is dimension-order routing with the
+	// farthest-first outqueue policy — not destination-exchangeable.
+	RouterFarthestFirst = "farthest-first"
+	// RouterHotPotato is the deflection baseline — nonminimal,
+	// destination-exchangeable (ignores k; capacity is the node degree).
+	RouterHotPotato = "hot-potato"
+	// RouterRandZigZag is the randomized minimal adaptive router — the
+	// Section 7 "incorporate randomness" escape hatch. Deterministic
+	// given its seed (0 via the registry; use routers.RandZigZag for
+	// other seeds), but outside the Theorem 14 model.
+	RouterRandZigZag = "rand-zigzag"
+	// RouterStray is the Section 5 "Nonminimal extensions" router:
+	// dimension order that may overshoot its turning column by up to
+	// δ = 1 columns when blocked (destination-exchangeable, bounded
+	// stray). Use routers.StrayDimOrder directly for other δ.
+	RouterStray = "stray-dimorder"
+)
+
+// RouterSpec describes one of the built-in routing algorithms.
+type RouterSpec struct {
+	// Name is the registry key.
+	Name string
+	// Summary is a one-line description.
+	Summary string
+	// DestinationExchangeable reports whether the router fits the
+	// Section 2 restricted model (and therefore Theorem 14).
+	DestinationExchangeable bool
+	// Minimal reports whether the router uses only shortest paths.
+	Minimal bool
+	// Queues is the queue model the router requires.
+	Queues sim.QueueModel
+	// New creates a fresh instance for one run.
+	New func() sim.Algorithm
+	// Config builds the network configuration for a topology and k.
+	Config func(topo Topology, k int) sim.Config
+}
+
+var registry = map[string]RouterSpec{
+	RouterDimOrder: {
+		Name:                    RouterDimOrder,
+		Summary:                 "dimension order, FIFO outqueue, round-robin inqueue, central queue",
+		DestinationExchangeable: true,
+		Minimal:                 true,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) },
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
+		},
+	},
+	RouterZigZag: {
+		Name:                    RouterZigZag,
+		Summary:                 "minimal adaptive alternation (Section 2 example), central queue",
+		DestinationExchangeable: true,
+		Minimal:                 true,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return dex.NewAdapter(routers.ZigZag{}) },
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
+		},
+	},
+	RouterThm15: {
+		Name:                    RouterThm15,
+		Summary:                 "Theorem 15: four inlink queues of size k, straight priority, O(n²/k+n)",
+		DestinationExchangeable: true,
+		Minimal:                 true,
+		Queues:                  sim.PerInlinkQueues,
+		New:                     func() sim.Algorithm { return dex.NewAdapter(routers.Thm15{}) },
+		Config:                  func(topo Topology, k int) sim.Config { return routers.Thm15Config(topo, k) },
+	},
+	RouterFarthestFirst: {
+		Name:                    RouterFarthestFirst,
+		Summary:                 "dimension order with farthest-first outqueue (not destination-exchangeable)",
+		DestinationExchangeable: false,
+		Minimal:                 true,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return routers.DimOrderFF{} },
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
+		},
+	},
+	RouterRandZigZag: {
+		Name:                    RouterRandZigZag,
+		Summary:                 "randomized minimal adaptive alternation (Section 7 escape hatch 3)",
+		DestinationExchangeable: false, // randomized: outside the deterministic model
+		Minimal:                 true,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return routers.RandZigZag{Seed: 0} },
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
+		},
+	},
+	RouterStray: {
+		Name:                    RouterStray,
+		Summary:                 "dimension order with a 1-column overshoot budget (Section 5 nonminimal extension)",
+		DestinationExchangeable: true,
+		Minimal:                 false,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return dex.NewAdapter(routers.StrayDimOrder{Delta: 1}) },
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, MaxStray: 1, CheckInvariants: true}
+		},
+	},
+	RouterHotPotato: {
+		Name:                    RouterHotPotato,
+		Summary:                 "deterministic deflection baseline (nonminimal)",
+		DestinationExchangeable: true,
+		Minimal:                 false,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return routers.HotPotato{} },
+		Config:                  func(topo Topology, k int) sim.Config { return routers.HotPotatoConfig(topo) },
+	},
+}
+
+// LookupRouter returns the spec for a router name.
+func LookupRouter(name string) (RouterSpec, error) {
+	spec, ok := registry[name]
+	if !ok {
+		return RouterSpec{}, fmt.Errorf("meshroute: unknown router %q (have %v)", name, RouterNames())
+	}
+	return spec, nil
+}
+
+// RouterNames lists the registered router names, sorted.
+func RouterNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
