@@ -17,6 +17,7 @@ import (
 	"meshroute/internal/clt"
 	"meshroute/internal/experiments"
 	"meshroute/internal/grid"
+	"meshroute/internal/obs"
 	"meshroute/internal/routers"
 	"meshroute/internal/sim"
 	"meshroute/internal/workload"
@@ -365,6 +366,17 @@ func BenchmarkE13RandomizedHatch(b *testing.B) {
 	b.ReportMetric(float64(mk), "randomized-completion")
 }
 
+// BenchmarkE14OpenProblem runs the open-problem probe (Section 7): the
+// zigzag router on its own adversarially constructed permutation, forced
+// to completion.
+func BenchmarkE14OpenProblem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E14(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineStep measures raw simulator throughput: one synchronous
 // step of a fully loaded 64×64 mesh.
 func BenchmarkEngineStep(b *testing.B) {
@@ -381,6 +393,41 @@ func BenchmarkEngineStep(b *testing.B) {
 		if net.Done() {
 			b.StopTimer()
 			net = sim.New(routers.Thm15Config(topo, 2))
+			if err := workload.Reversal(topo).Place(net); err != nil {
+				b.Fatal(err)
+			}
+			alg = spec.New()
+			b.StartTimer()
+		}
+		if err := net.StepOnce(alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStepMetricsSink is BenchmarkEngineStep with an
+// obs.Memory sink attached, so the cost of live per-step sampling can be
+// compared against the uninstrumented loop (internal/sim's bench has the
+// matching nil-sink variant).
+func BenchmarkEngineStepMetricsSink(b *testing.B) {
+	const n = 64
+	topo := grid.NewSquareMesh(n)
+	spec, _ := LookupRouter(RouterThm15)
+	sink := &obs.Memory{}
+	net := sim.New(routers.Thm15Config(topo, 2))
+	net.SetMetricsSink(sink)
+	if err := workload.Reversal(topo).Place(net); err != nil {
+		b.Fatal(err)
+	}
+	alg := spec.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.Done() {
+			b.StopTimer()
+			net = sim.New(routers.Thm15Config(topo, 2))
+			net.SetMetricsSink(sink)
+			sink.Steps = sink.Steps[:0]
 			if err := workload.Reversal(topo).Place(net); err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,370 @@
+// Command benchjson runs one representative cell per experiment of the
+// reproduction (E1–E14, the same shapes as the root bench_test.go
+// benchmarks, at quick sizes) and writes the measurements as machine-
+// readable JSON — the repo's perf trajectory file. Each cell reports
+// wall time, engine steps, ns/step, makespan, peak queue occupancy, and
+// allocation counts; the schema is documented in docs/OBSERVABILITY.md.
+//
+// Usage:
+//
+//	benchjson                       # writes out/BENCH_PR1.json
+//	benchjson -out my.json -label x # custom output path and label
+//	benchjson -workers 4            # parallel cells (wall/alloc numbers noisy)
+//
+// By default cells run sequentially (workers = 1) so per-cell timings and
+// allocation deltas are honest; raise -workers to trade measurement
+// accuracy for speed. Cells always dispatch through internal/par, the
+// same pool the experiment harness uses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"meshroute/internal/adversary"
+	"meshroute/internal/clt"
+	"meshroute/internal/dex"
+	"meshroute/internal/grid"
+	"meshroute/internal/par"
+	"meshroute/internal/routers"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// Schema is the format identifier written to the output file and
+// documented in docs/OBSERVABILITY.md.
+const Schema = "meshroute-bench/v1"
+
+// CellResult is one cell's measurements (the "cells" array element of the
+// BENCH json schema).
+type CellResult struct {
+	// ID is the experiment the cell represents (E1..E14).
+	ID string `json:"id"`
+	// Name describes the concrete instance (router, n, k, workload).
+	Name string `json:"name"`
+	// Steps is the number of engine (or phase-simulation) steps executed.
+	Steps int `json:"steps"`
+	// WallNS is the cell's wall-clock duration in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// NSPerStep is WallNS / Steps.
+	NSPerStep float64 `json:"ns_per_step"`
+	// Makespan is the headline step count of the cell: the delivery
+	// makespan, the forced lower bound, or the synchronized schedule
+	// length, depending on the experiment.
+	Makespan int `json:"makespan"`
+	// PeakQueue is the peak queue (or node) occupancy observed.
+	PeakQueue int `json:"peak_queue"`
+	// Allocs is the number of heap allocations during the cell (exact
+	// only with -workers 1).
+	Allocs uint64 `json:"allocs"`
+	// AllocBytes is the number of bytes allocated during the cell
+	// (exact only with -workers 1).
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// Output is the top-level BENCH json document.
+type Output struct {
+	// Schema identifies the format version.
+	Schema string `json:"schema"`
+	// Label tags the run (e.g. "PR1").
+	Label string `json:"label"`
+	// Go is the toolchain version the run was built with.
+	Go string `json:"go"`
+	// Workers is the cell-level parallelism the run used (timings are
+	// exact only at 1).
+	Workers int `json:"workers"`
+	// Cells holds one entry per experiment cell, in E1..E14 order.
+	Cells []CellResult `json:"cells"`
+}
+
+// stats is what a cell's body reports back to the measurement driver.
+type stats struct {
+	steps     int
+	makespan  int
+	peakQueue int
+}
+
+type cell struct {
+	id   string
+	name string
+	run  func() (stats, error)
+}
+
+func dimOrder() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) }
+func zigzag() sim.Algorithm   { return dex.NewAdapter(routers.ZigZag{}) }
+func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
+
+// permCell routes a permutation with a sim-engine router and reports
+// makespan and peak queue.
+func permCell(cfg sim.Config, alg func() sim.Algorithm, perm *workload.Permutation, budget int) (stats, error) {
+	net := sim.New(cfg)
+	if err := perm.Place(net); err != nil {
+		return stats{}, err
+	}
+	if _, err := net.RunPartial(alg(), budget); err != nil {
+		return stats{}, err
+	}
+	if !net.Done() {
+		return stats{}, fmt.Errorf("incomplete after %d steps", budget)
+	}
+	return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+}
+
+func cells() []cell {
+	return []cell{
+		{"E1", "lowerbound-general-dimorder-n60-k1", func() (stats, error) {
+			c, err := adversary.NewConstruction(60, 1)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E2", "lowerbound-dimorder-thm15-n60-k1-completion", func() (stats, error) {
+			c, err := adversary.NewDOConstruction(60, 4*1+1)
+			if err != nil {
+				return stats{}, err
+			}
+			c.Queues = sim.PerInlinkQueues
+			c.NetK = 1
+			res, err := c.Run(thm15())
+			if err != nil {
+				return stats{}, err
+			}
+			net, err := c.Replay(res, thm15())
+			if err != nil {
+				return stats{}, err
+			}
+			mk, done, err := adversary.RunToCompletion(net, thm15(), 100*60*60)
+			if err != nil || !done {
+				return stats{}, fmt.Errorf("completion failed: %v", err)
+			}
+			return stats{steps: res.Steps + mk, makespan: mk, peakQueue: net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E3", "lowerbound-farthestfirst-n64-k1", func() (stats, error) {
+			c, err := adversary.NewFFConstruction(64, 1)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(routers.DimOrderFF{})
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E4", "thm15-reversal-n32-k1", func() (stats, error) {
+			topo := grid.NewSquareMesh(32)
+			return permCell(routers.Thm15Config(topo, 1), thm15, workload.Reversal(topo), 500*32*32)
+		}},
+		{"E5", "clt-random-n27", func() (stats, error) {
+			r, err := clt.New(clt.Config{N: 27})
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := r.Route(workload.Random(grid.NewSquareMesh(27), 7))
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.TimeMeasured, makespan: res.TimeFormula, peakQueue: res.MaxQueue}, nil
+		}},
+		{"E6", "lowerbound-hh-n60-k1-h2", func() (stats, error) {
+			c, err := adversary.NewHHConstruction(60, 1, 2)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E7", "lowerbound-torus120-submesh60-k1", func() (stats, error) {
+			p, err := adversary.NewParams(60, 1)
+			if err != nil {
+				return stats{}, err
+			}
+			c := &adversary.Construction{Par: p, Topo: grid.NewSquareTorus(120), H: 1}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E8", "thm15-random-n32-k2", func() (stats, error) {
+			topo := grid.NewSquareMesh(32)
+			return permCell(routers.Thm15Config(topo, 2), thm15, workload.Random(topo, 3), 500*32)
+		}},
+		{"E9", "clt-on-constructed-perm-n81", func() (stats, error) {
+			c, err := adversary.NewConstruction(81, 1)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return stats{}, err
+			}
+			r, err := clt.New(clt.Config{N: 81})
+			if err != nil {
+				return stats{}, err
+			}
+			cres, err := r.Route(&workload.Permutation{Pairs: res.Permutation})
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: cres.TimeMeasured, makespan: cres.TimeFormula, peakQueue: cres.MaxQueue}, nil
+		}},
+		{"E10", "lowerbound-stray-n120-k1-delta0", func() (stats, error) {
+			c, err := adversary.NewDeltaConstruction(120, 1, 0)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(dex.NewAdapter(routers.StrayDimOrder{Delta: 0}))
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E11", "cross-hardness-zigzag-on-dimorder-perm-n120-k2", func() (stats, error) {
+			c, err := adversary.NewConstruction(120, 2)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(dimOrder())
+			if err != nil {
+				return stats{}, err
+			}
+			net := sim.New(sim.Config{Topo: grid.NewSquareMesh(120), K: 2, Queues: sim.CentralQueue, RequireMinimal: true})
+			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
+				return stats{}, err
+			}
+			if _, err := net.RunPartial(zigzag(), 40*res.Steps); err != nil {
+				return stats{}, err
+			}
+			return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E12", "dynamic-thm15-n32-k2-load0.6", func() (stats, error) {
+			const n, horizon = 32, 16 * 32
+			topo := grid.NewSquareMesh(n)
+			net := sim.New(routers.Thm15Config(topo, 2))
+			lambda := 0.6 * 4 / float64(n)
+			rng := rand.New(rand.NewSource(7))
+			for step := 1; step <= horizon; step++ {
+				for id := 0; id < n*n; id++ {
+					if rng.Float64() < lambda {
+						net.QueueInjection(net.NewPacket(grid.NodeID(id), grid.NodeID(rng.Intn(n*n))), step)
+					}
+				}
+			}
+			alg := thm15()
+			for step := 0; step < horizon; step++ {
+				if err := net.StepOnce(alg); err != nil {
+					return stats{}, err
+				}
+			}
+			return stats{steps: horizon, makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E13", "randomized-on-zigzag-perm-n120-k4-seed1", func() (stats, error) {
+			c, err := adversary.NewConstruction(120, 1)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(zigzag())
+			if err != nil {
+				return stats{}, err
+			}
+			net := sim.New(sim.Config{Topo: grid.NewSquareMesh(120), K: 4, Queues: sim.CentralQueue, RequireMinimal: true})
+			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
+				return stats{}, err
+			}
+			if _, err := net.RunPartial(routers.RandZigZag{Seed: 1}, 40*res.Steps); err != nil {
+				return stats{}, err
+			}
+			return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+		}},
+		{"E14", "openproblem-zigzag-own-perm-n120-k2-completion", func() (stats, error) {
+			c, err := adversary.NewConstruction(120, 2)
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := c.Run(zigzag())
+			if err != nil {
+				return stats{}, err
+			}
+			net, err := c.Replay(res, zigzag())
+			if err != nil {
+				return stats{}, err
+			}
+			mk, _, err := adversary.RunToCompletion(net, zigzag(), 60*res.Steps)
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{steps: res.Steps + mk, makespan: mk, peakQueue: net.Metrics.MaxQueueLen}, nil
+		}},
+	}
+}
+
+func main() {
+	out := flag.String("out", filepath.Join("out", "BENCH_PR1.json"), "output path for the BENCH json")
+	label := flag.String("label", "PR1", "label recorded in the output")
+	workers := flag.Int("workers", 1, "cell-level parallelism (timings and alloc counts are exact only at 1)")
+	flag.Parse()
+
+	cs := cells()
+	results := make([]CellResult, len(cs))
+	_, err := par.Map(len(cs), *workers, func(i int) (struct{}, error) {
+		c := cs[i]
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		st, err := c.run()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("%s (%s): %w", c.id, c.name, err)
+		}
+		nsPerStep := 0.0
+		if st.steps > 0 {
+			nsPerStep = float64(wall.Nanoseconds()) / float64(st.steps)
+		}
+		results[i] = CellResult{
+			ID: c.id, Name: c.name,
+			Steps: st.steps, WallNS: wall.Nanoseconds(), NSPerStep: nsPerStep,
+			Makespan: st.makespan, PeakQueue: st.peakQueue,
+			Allocs: after.Mallocs - before.Mallocs, AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		}
+		fmt.Fprintf(os.Stderr, "%-4s %-48s %8d steps %10.0f ns/step  makespan %6d  peakQ %4d\n",
+			c.id, c.name, st.steps, nsPerStep, st.makespan, st.peakQueue)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := Output{Schema: Schema, Label: *label, Go: runtime.Version(), Workers: *workers, Cells: results}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d cells to %s\n", len(results), *out)
+}

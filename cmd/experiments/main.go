@@ -7,12 +7,20 @@
 // Usage:
 //
 //	experiments [-full] [-only E1,E5]
+//	experiments -only E5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The pprof flags profile the harness itself (docs/OBSERVABILITY.md walks
+// through reading the profiles); for machine-readable per-cell numbers use
+// cmd/benchjson instead.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,10 +30,57 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full (slow) parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5,A2)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	var cpuOut *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuOut = f
+	}
+
+	err := runAll(*full, *only)
+
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if *memprofile != "" {
+		if werr := writeHeapProfile(*memprofile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runAll(full bool, only string) error {
 	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
+	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
 			want[id] = true
 		}
@@ -42,7 +97,7 @@ func main() {
 		{"E10", experiments.E10}, {"E11", experiments.E11}, {"E12", experiments.E12}, {"E13", experiments.E13}, {"E14", experiments.E14},
 		{"A1", experiments.A1}, {"A2", experiments.A2},
 	}
-	quick := !*full
+	quick := !full
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -50,10 +105,10 @@ func main() {
 		start := time.Now()
 		rep, err := e.fn(quick)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s failed: %w", e.id, err)
 		}
 		fmt.Println(rep)
 		fmt.Printf("   (%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
 	}
+	return nil
 }

@@ -6,6 +6,12 @@
 //	meshroute -router thm15 -n 64 -k 2 -workload reversal
 //	meshroute -router clt -n 81 -workload random -seed 7
 //	meshroute -router dimorder -n 32 -k 4 -workload hh -h 2 -torus
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	meshroute -router thm15 -n 64 -workload reversal -metrics-out run.jsonl
+//	meshroute -router clt -n 81 -workload random -metrics-out spans.jsonl
+//	meshroute -router thm15 -n 128 -workload reversal -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,8 +19,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"meshroute"
+	"meshroute/internal/clt"
+	"meshroute/internal/obs"
 	"meshroute/internal/sim"
 	"meshroute/internal/trace"
 	"meshroute/internal/viz"
@@ -22,33 +32,80 @@ import (
 
 func main() {
 	var (
-		router    = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
-		n         = flag.Int("n", 32, "mesh side length")
-		k         = flag.Int("k", 2, "queue capacity per queue")
-		wl        = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		h         = flag.Int("h", 2, "h for the h-h workload")
-		torus     = flag.Bool("torus", false, "use a torus instead of a mesh")
-		maxSteps  = flag.Int("steps", 0, "step budget (0 = automatic)")
-		improved  = flag.Bool("improved-q", false, "clt: use the 564n constant")
-		showViz   = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
-		traceFile = flag.String("trace", "", "write a JSON-lines step trace to this file")
+		router     = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
+		n          = flag.Int("n", 32, "mesh side length")
+		k          = flag.Int("k", 2, "queue capacity per queue")
+		wl         = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		h          = flag.Int("h", 2, "h for the h-h workload")
+		torus      = flag.Bool("torus", false, "use a torus instead of a mesh")
+		maxSteps   = flag.Int("steps", 0, "step budget (0 = automatic)")
+		improved   = flag.Bool("improved-q", false, "clt: use the 564n constant")
+		showViz    = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
+		traceFile  = flag.String("trace", "", "write a JSON-lines step trace to this file")
+		metricsOut = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
+	var cpuOut *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuOut = f
+	}
+	err := run(*router, *n, *k, *wl, *seed, *h, *torus, *maxSteps, *improved, *showViz, *traceFile, *metricsOut)
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if *memprofile != "" {
+		if werr := writeHeapProfile(*memprofile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeHeapProfile forces a GC (for up-to-date accounting) and writes the
+// heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxSteps int, improved, showViz bool, traceFile, metricsOut string) error {
 	var topo meshroute.Topology
-	if *torus {
-		topo = meshroute.NewTorus(*n)
+	if torus {
+		topo = meshroute.NewTorus(n)
 	} else {
-		topo = meshroute.NewMesh(*n)
+		topo = meshroute.NewMesh(n)
 	}
 
 	var perm *meshroute.Permutation
-	switch *wl {
+	switch wl {
 	case "random":
-		perm = meshroute.RandomPermutation(topo, *seed)
+		perm = meshroute.RandomPermutation(topo, seed)
 	case "random-dest":
-		perm = meshroute.RandomDestinations(topo, *seed)
+		perm = meshroute.RandomDestinations(topo, seed)
 	case "transpose":
 		perm = meshroute.Transpose(topo)
 	case "reversal":
@@ -56,101 +113,143 @@ func main() {
 	case "bitrev":
 		perm = meshroute.BitReversal(topo)
 	case "rotation":
-		perm = meshroute.Rotation(topo, *n/3, *n/5)
+		perm = meshroute.Rotation(topo, n/3, n/5)
 	case "hh":
-		hh := meshroute.RandomHH(topo, *h, *seed)
+		hh := meshroute.RandomHH(topo, h, seed)
 		perm = &meshroute.Permutation{Pairs: hh.Pairs}
 	default:
-		log.Fatalf("unknown workload %q", *wl)
+		return fmt.Errorf("unknown workload %q", wl)
 	}
 
-	if *router == "clt" {
-		if *torus {
-			log.Fatal("the Section 6 algorithm targets the mesh")
-		}
-		res, err := meshroute.RouteCLT(*n, perm, meshroute.CLTOptions{ImprovedQ: *improved})
+	// The metrics sink (nil unless -metrics-out is given) receives
+	// per-step samples from the engine, or phase spans from clt.
+	var sink *obs.JSONL
+	var sinkOut *os.File
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("clt (Section 6, Theorem 34) on %d×%d, %d packets\n", *n, *n, res.Packets)
+		sinkOut = f
+		sink = obs.NewJSONL(f)
+	}
+	closeSink := func() error {
+		if sink == nil {
+			return nil
+		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if err := sinkOut.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d step samples, %d spans written to %s\n",
+			sink.StepCount(), sink.SpanCount(), metricsOut)
+		return nil
+	}
+
+	if router == "clt" {
+		if torus {
+			return fmt.Errorf("the Section 6 algorithm targets the mesh")
+		}
+		cfg := clt.Config{N: n, ImprovedQ: improved}
+		if sink != nil {
+			cfg.Sink = sink
+		}
+		r, err := clt.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := r.Route(perm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clt (Section 6, Theorem 34) on %d×%d, %d packets\n", n, n, res.Packets)
 		fmt.Printf("  synchronized schedule: %d steps (%.1f·n; bound %d·n)\n",
-			res.TimeFormula, float64(res.TimeFormula)/float64(*n), map[bool]int{false: 972, true: 564}[*improved])
+			res.TimeFormula, float64(res.TimeFormula)/float64(n), map[bool]int{false: 972, true: 564}[improved])
 		fmt.Printf("  measured work steps:   %d\n", res.TimeMeasured)
 		fmt.Printf("  peak node occupancy:   %d (bound 834)\n", res.MaxQueue)
 		fmt.Printf("  base case steps:       %d, tile iterations: %d\n", res.BaseCaseSteps, res.Iterations)
-		return
+		return closeSink()
 	}
 
-	if !*showViz && *traceFile == "" {
-		st, err := meshroute.Route(*router, topo, *k, perm, *maxSteps)
+	if !showViz && traceFile == "" && sink == nil {
+		st, err := meshroute.Route(router, topo, k, perm, maxSteps)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		printStats(*router, *n, *k, st)
-		return
+		printStats(router, n, k, st)
+		return nil
 	}
 
-	// Instrumented run: viz snapshots and/or trace recording.
-	spec, err := meshroute.LookupRouter(*router)
+	// Instrumented run: metrics sink, viz snapshots and/or trace recording.
+	spec, err := meshroute.LookupRouter(router)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	net := sim.New(spec.Config(topo, *k))
+	net := sim.New(spec.Config(topo, k))
 	if err := perm.Place(net); err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if sink != nil {
+		net.SetMetricsSink(sink)
 	}
 	var rec *trace.Recorder
 	var traceOut *os.File
-	if *traceFile != "" {
-		traceOut, err = os.Create(*traceFile)
+	if traceFile != "" {
+		traceOut, err = os.Create(traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rec = trace.NewRecorder(traceOut)
 		rec.Attach(net)
 	}
-	budget := *maxSteps
+	budget := maxSteps
 	if budget <= 0 {
-		budget = 200 * (*n**n / *k + 2**n)
+		budget = 200 * (n*n/k + 2*n)
 	}
 	alg := spec.New()
-	snapshotAt := *n / 2 // mid-flight occupancy
+	snapshotAt := n / 2 // mid-flight occupancy
 	for !net.Done() && net.Step() < budget {
 		if err := net.StepOnce(alg); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if *showViz && net.Step() == snapshotAt {
+		if showViz && net.Step() == snapshotAt {
 			fmt.Printf("occupancy after %d steps:\n%s\n", snapshotAt, viz.Occupancy(net))
 		}
 	}
 	if rec != nil {
 		if err := rec.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := traceOut.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("trace: %d steps written to %s\n", rec.Steps(), *traceFile)
+		fmt.Printf("trace: %d steps written to %s\n", rec.Steps(), traceFile)
+	}
+	if err := closeSink(); err != nil {
+		return err
 	}
 	st := meshroute.RouteStats{
 		Makespan: net.Metrics.Makespan, Steps: net.Step(), Done: net.Done(),
 		Delivered: net.DeliveredCount(), Total: net.TotalPackets(),
 		MaxQueue: net.Metrics.MaxQueueLen, AvgDelay: net.AvgDelay(),
 	}
-	printStats(*router, *n, *k, st)
-	if *showViz && *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	printStats(router, n, k, st)
+	if showViz && traceFile != "" {
+		f, err := os.Open(traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		steps, err := trace.Read(f)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		a := trace.Analyze(steps)
 		fmt.Printf("\n%s\ndelivery curve:\n%s", viz.LinkTraffic(topo, a), viz.DeliveryCurve(a, 8))
 	}
+	return nil
 }
 
 func printStats(router string, n, k int, st meshroute.RouteStats) {

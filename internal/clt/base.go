@@ -106,11 +106,12 @@ func (r *Router) baseCase(class Class, afterIterations bool) error {
 		live = live[:w]
 	}
 	r.res.BaseCaseSteps += step
+	formula := step // no closed form without iterations (n < 27)
 	if afterIterations {
-		r.res.TimeFormula += 14
-	} else {
-		r.res.TimeFormula += step
+		formula = 14 // Lemma 32
 	}
+	r.emitSpan("basecase", class, "", 0, 0, step, formula)
+	r.res.TimeFormula += formula
 	r.res.TimeMeasured += step
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"meshroute/internal/grid"
+	"meshroute/internal/obs"
 	"meshroute/internal/workload"
 )
 
@@ -80,6 +81,11 @@ type Config struct {
 	// Verify enables the more expensive invariant checks (Lemma 16's
 	// prefix property after every Sort-and-Smooth).
 	Verify bool
+	// Sink, when non-nil, receives one obs.Span per March /
+	// Sort-and-Smooth / Balancing phase and per base case, carrying the
+	// measured quiescence time and the Lemma 29-32 closed form, so the
+	// per-phase bounds can be checked from a recorded run.
+	Sink obs.Sink
 }
 
 // PhaseStats records one phase kind's accumulated durations.
@@ -140,7 +146,25 @@ type Router struct {
 	// parked counts in-flight packets of all other classes per node.
 	parked []int
 
+	// clock is the phase clock: the sum of the formula durations of all
+	// phases emitted so far (the start step of the next span under the
+	// paper's globally synchronized schedule).
+	clock int
+
 	res Result
+}
+
+// emitSpan records one completed phase on the configured sink (if any)
+// and advances the phase clock by the phase's synchronized duration.
+func (r *Router) emitSpan(name string, class Class, axis string, iter, tau, measured, formula int) {
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Span(obs.Span{
+			Name: name, Class: class.String(), Axis: axis,
+			Iteration: iter, Tiling: tau,
+			Start: r.clock, Measured: measured, Formula: formula,
+		})
+	}
+	r.clock += formula
 }
 
 // New creates a router for an n×n mesh.
@@ -166,6 +190,7 @@ func (r *Router) Route(perm *workload.Permutation) (*Result, error) {
 	}
 	topo := grid.NewSquareMesh(r.n)
 	r.res = Result{N: r.n}
+	r.clock = 0
 	r.pkts = r.pkts[:0]
 	r.parked = make([]int, r.n*r.n)
 	r.byNode = make([][]*pkt, r.n*r.n)
@@ -232,7 +257,7 @@ func (r *Router) routeClass(class Class) error {
 		// Vertical Phase on each tiling, then Horizontal Phase on each.
 		for _, vertical := range []bool{true, false} {
 			for _, tau := range tilings {
-				if err := r.phase(class, vertical, m, d, q, tau); err != nil {
+				if err := r.phase(class, vertical, m, d, q, tau, iter); err != nil {
 					return err
 				}
 			}

@@ -66,8 +66,9 @@ func tileIndex(c grid.Coord, m, tau int) (ti, tj int) {
 }
 
 // phase runs one Vertical (or, transposed, Horizontal) Phase of iteration
-// with tile side m, strip height d = m/27, March capacity q, on tiling tau.
-func (r *Router) phase(class Class, vertical bool, m, d, q, tau int) error {
+// iter with tile side m, strip height d = m/27, March capacity q, on
+// tiling tau, emitting one span per sub-phase on the configured sink.
+func (r *Router) phase(class Class, vertical bool, m, d, q, tau, iter int) error {
 	xf := newXform(r.n, class, !vertical)
 	start := tilingStart(m, tau)
 
@@ -151,6 +152,13 @@ func (r *Router) phase(class Class, vertical bool, m, d, q, tau int) error {
 	if balMax > balF {
 		return fmt.Errorf("clt: Balancing took %d steps, Lemma 31 allows %d (m=%d)", balMax, balF, m)
 	}
+	axis := "h"
+	if vertical {
+		axis = "v"
+	}
+	r.emitSpan("march", class, axis, iter, tau, marchMax, marchF)
+	r.emitSpan("sortsmooth", class, axis, iter, tau, ssMax, ssF)
+	r.emitSpan("balance", class, axis, iter, tau, balMax, balF)
 	r.res.March.Formula += marchF
 	r.res.March.Measured += marchMax
 	r.res.SortSmooth.Formula += ssF

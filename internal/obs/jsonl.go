@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Line type discriminators of the metrics JSONL stream: every line is a
+// JSON object whose "t" field is one of these (see docs/OBSERVABILITY.md).
+const (
+	// LineStep marks a StepSample line.
+	LineStep = "step"
+	// LineSpan marks a Span line.
+	LineSpan = "span"
+)
+
+// stepLine and spanLine wrap the payload types with the discriminator;
+// struct embedding flattens the payload fields into the same JSON object.
+type stepLine struct {
+	T string `json:"t"`
+	StepSample
+}
+
+type spanLine struct {
+	T string `json:"t"`
+	Span
+}
+
+// JSONL is a Sink that streams samples and spans to a writer as JSON
+// lines. Writes are buffered; call Close to flush and surface the first
+// write error. After an error the sink drops further records, so a run
+// never fails mid-flight because its metrics file did.
+type JSONL struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	err   error
+	steps int
+	spans int
+}
+
+// NewJSONL creates a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Step writes one step line.
+func (j *JSONL) Step(s StepSample) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(stepLine{T: LineStep, StepSample: s}); err != nil {
+		j.err = err
+		return
+	}
+	j.steps++
+}
+
+// Span writes one span line.
+func (j *JSONL) Span(sp Span) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(spanLine{T: LineSpan, Span: sp}); err != nil {
+		j.err = err
+		return
+	}
+	j.spans++
+}
+
+// StepCount returns the number of step lines written.
+func (j *JSONL) StepCount() int { return j.steps }
+
+// SpanCount returns the number of span lines written.
+func (j *JSONL) SpanCount() int { return j.spans }
+
+// Close flushes the buffer and returns the first write error, if any.
+func (j *JSONL) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// ReadJSONL parses a metrics JSONL stream back into samples and spans
+// (the inverse of the JSONL sink, for tests and offline analysis). Lines
+// with an unknown "t" are an error: the schema is versioned by its two
+// line types.
+func ReadJSONL(r io.Reader) ([]StepSample, []Span, error) {
+	dec := json.NewDecoder(r)
+	var steps []StepSample
+	var spans []Span
+	for dec.More() {
+		var raw struct {
+			T string `json:"t"`
+		}
+		// Decode twice: once for the discriminator, once for the payload.
+		var payload json.RawMessage
+		if err := dec.Decode(&payload); err != nil {
+			return nil, nil, fmt.Errorf("obs: %w", err)
+		}
+		if err := json.Unmarshal(payload, &raw); err != nil {
+			return nil, nil, fmt.Errorf("obs: %w", err)
+		}
+		switch raw.T {
+		case LineStep:
+			var s StepSample
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return nil, nil, fmt.Errorf("obs: step line: %w", err)
+			}
+			steps = append(steps, s)
+		case LineSpan:
+			var sp Span
+			if err := json.Unmarshal(payload, &sp); err != nil {
+				return nil, nil, fmt.Errorf("obs: span line: %w", err)
+			}
+			spans = append(spans, sp)
+		default:
+			return nil, nil, fmt.Errorf("obs: unknown line type %q", raw.T)
+		}
+	}
+	return steps, spans, nil
+}

@@ -1,0 +1,212 @@
+// Package obs is the observability layer of the reproduction: a
+// low-overhead metrics sink that the simulator (internal/sim) feeds one
+// StepSample per engine step and that the Section 6 algorithm
+// (internal/clt) feeds one Span per phase, so that every executable claim
+// of the paper — makespan, queue occupancy (Lemma 28), per-phase durations
+// (Lemmas 29-32) — can be exported as a time series and checked offline
+// instead of only as end-of-run scalars.
+//
+// The package is a leaf: it imports only internal/grid, so every layer
+// above (sim, clt, trace, the CLIs, the bench harness) can depend on it
+// without cycles. Producers hold a Sink interface value and guard every
+// emission with a nil check, so the disabled case costs one predictable
+// branch and zero allocations on the hot step loop.
+//
+// Three sinks are provided: JSONL streams samples and spans as JSON lines
+// (the wire format documented in docs/OBSERVABILITY.md), Memory accumulates
+// them for in-process analysis and tests, and Multi fans out to several
+// sinks at once.
+package obs
+
+import "meshroute/internal/grid"
+
+// NumQueueBuckets is the number of exponential histogram buckets in a
+// QueueHist. Bucket i counts queues whose end-of-step occupancy v
+// satisfies 2^i <= v < 2^(i+1); the last bucket is unbounded above.
+// Empty queues are not counted (on sparse instances almost every queue is
+// empty, and the paper's quantities of interest are the occupied ones).
+const NumQueueBuckets = 8
+
+// QueueHist is a fixed-size exponential histogram of per-queue occupancy,
+// indexed by BucketOf. It is a value type so building one per step does
+// not allocate.
+type QueueHist [NumQueueBuckets]int
+
+// BucketOf returns the QueueHist bucket index for occupancy v >= 1:
+// bucket 0 holds v = 1, bucket 1 holds v in {2,3}, bucket 2 holds 4..7,
+// and so on; occupancies of 2^(NumQueueBuckets-1) = 128 and above land in
+// the last bucket.
+func BucketOf(v int) int {
+	b := 0
+	for v > 1 && b < NumQueueBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Add counts one queue of occupancy v (ignored if v < 1).
+func (h *QueueHist) Add(v int) {
+	if v >= 1 {
+		h[BucketOf(v)]++
+	}
+}
+
+// Total returns the number of queues counted.
+func (h *QueueHist) Total() int {
+	t := 0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// StepSample is one engine step's worth of time-series metrics. The JSON
+// keys are deliberately short (the dominant cost of a metrics file is the
+// per-step record); docs/OBSERVABILITY.md is the schema reference.
+type StepSample struct {
+	// Step is the 1-based step number.
+	Step int `json:"s"`
+	// Moves is the number of accepted transmissions this step (including
+	// deliveries).
+	Moves int `json:"mv"`
+	// LinkUse counts this step's transmissions per travel direction,
+	// indexed by grid.Dir (East, North, West, South). Summed over steps
+	// it is the per-direction link utilization.
+	LinkUse [grid.NumDirs]int `json:"lu"`
+	// Delivered is the number of packets delivered this step.
+	Delivered int `json:"dv"`
+	// DeliveredTotal is the cumulative delivery count — the delivery
+	// curve.
+	DeliveredTotal int `json:"dt"`
+	// InFlight is the number of packets resident in the network at the
+	// end of the step (placed or injected, not yet delivered; packets
+	// still waiting in an injection backlog are not resident).
+	InFlight int `json:"if"`
+	// OccupiedNodes is the number of nodes holding at least one packet
+	// at the end of the step.
+	OccupiedNodes int `json:"on"`
+	// MaxQueue is the largest single-queue occupancy at the end of the
+	// step (excluding the unbounded origin buffer of the per-inlink
+	// model) — the per-step version of the quantity bounded by k.
+	MaxQueue int `json:"mq"`
+	// QueueHist is the occupancy histogram over all non-empty queues at
+	// the end of the step.
+	QueueHist QueueHist `json:"qh"`
+}
+
+// Span is one named algorithm phase with its measured duration and, where
+// the paper gives one, the closed-form schedule length it must respect.
+// The Section 6 router emits one Span per March / Sort-and-Smooth /
+// Balancing phase (Lemmas 29-31) and per base case (Lemma 32), so the
+// per-phase bounds can be checked from a recorded run, not just in
+// aggregate.
+type Span struct {
+	// Name identifies the phase kind (e.g. "march", "sortsmooth",
+	// "balance", "basecase").
+	Name string `json:"name"`
+	// Class is the packet class being routed ("NE", "NW", "SE", "SW"),
+	// when the producer routes per class.
+	Class string `json:"class,omitempty"`
+	// Iteration is the tile-refinement iteration j (tile side n/3^j).
+	Iteration int `json:"iter"`
+	// Tiling is the shifted-tiling index tau in 0..2 (Lemma 19).
+	Tiling int `json:"tau"`
+	// Axis is "v" for a Vertical Phase, "h" for a Horizontal Phase, or
+	// empty when the distinction does not apply.
+	Axis string `json:"axis,omitempty"`
+	// Start is the phase-clock step at which the span begins (the sum of
+	// the Formula durations of all earlier spans, matching the paper's
+	// globally synchronized schedule).
+	Start int `json:"start"`
+	// Measured is the number of steps until the phase went quiescent.
+	Measured int `json:"measured"`
+	// Formula is the synchronized schedule length from the governing
+	// lemma (0 when no closed form applies). Measured <= Formula is the
+	// per-phase statement of Lemmas 29-32.
+	Formula int `json:"formula"`
+}
+
+// Sink receives metrics. Implementations must tolerate being called once
+// per engine step on hot loops; producers guard calls with a nil check so
+// a nil Sink costs nothing.
+type Sink interface {
+	// Step records one step's time-series sample.
+	Step(s StepSample)
+	// Span records one completed phase span.
+	Span(sp Span)
+}
+
+// Memory is a Sink that accumulates everything in memory — the natural
+// sink for tests and for in-process aggregation.
+type Memory struct {
+	// Steps holds every recorded sample in step order.
+	Steps []StepSample
+	// Spans holds every recorded span in emission order.
+	Spans []Span
+}
+
+// Step appends the sample.
+func (m *Memory) Step(s StepSample) { m.Steps = append(m.Steps, s) }
+
+// Span appends the span.
+func (m *Memory) Span(sp Span) { m.Spans = append(m.Spans, sp) }
+
+// DeliveryCurve returns the cumulative deliveries per recorded step.
+func (m *Memory) DeliveryCurve() []int {
+	out := make([]int, len(m.Steps))
+	for i, s := range m.Steps {
+		out[i] = s.DeliveredTotal
+	}
+	return out
+}
+
+// PeakQueue returns the largest per-step MaxQueue over the run.
+func (m *Memory) PeakQueue() int {
+	peak := 0
+	for _, s := range m.Steps {
+		if s.MaxQueue > peak {
+			peak = s.MaxQueue
+		}
+	}
+	return peak
+}
+
+// PeakInFlight returns the largest per-step InFlight over the run.
+func (m *Memory) PeakInFlight() int {
+	peak := 0
+	for _, s := range m.Steps {
+		if s.InFlight > peak {
+			peak = s.InFlight
+		}
+	}
+	return peak
+}
+
+// TotalLinkUse sums the per-direction link utilization over the run.
+func (m *Memory) TotalLinkUse() [grid.NumDirs]int {
+	var out [grid.NumDirs]int
+	for _, s := range m.Steps {
+		for d, c := range s.LinkUse {
+			out[d] += c
+		}
+	}
+	return out
+}
+
+// Multi fans every sample and span out to each member sink in order.
+type Multi []Sink
+
+// Step forwards the sample to every member.
+func (m Multi) Step(s StepSample) {
+	for _, sink := range m {
+		sink.Step(s)
+	}
+}
+
+// Span forwards the span to every member.
+func (m Multi) Span(sp Span) {
+	for _, sink := range m {
+		sink.Span(sp)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{
+		1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3, 16: 4,
+		31: 4, 32: 5, 64: 6, 127: 6, 128: 7, 834: 7, 1 << 20: 7,
+	}
+	for v, want := range cases {
+		if got := BucketOf(v); got != want {
+			t.Errorf("BucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestQueueHistAdd(t *testing.T) {
+	var h QueueHist
+	h.Add(0) // ignored
+	h.Add(1)
+	h.Add(3)
+	h.Add(3)
+	h.Add(200)
+	if h[0] != 1 || h[1] != 2 || h[NumQueueBuckets-1] != 1 {
+		t.Fatalf("unexpected histogram %v", h)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	s1 := StepSample{Step: 1, Moves: 3, Delivered: 1, DeliveredTotal: 1, InFlight: 9, MaxQueue: 2}
+	s1.LinkUse[0] = 2
+	s1.LinkUse[1] = 1
+	s1.QueueHist.Add(2)
+	j.Step(s1)
+	sp := Span{Name: "march", Class: "NE", Iteration: 1, Tiling: 2, Axis: "v", Start: 10, Measured: 5, Formula: 8}
+	j.Span(sp)
+	j.Step(StepSample{Step: 2, DeliveredTotal: 1, InFlight: 8})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.StepCount() != 2 || j.SpanCount() != 1 {
+		t.Fatalf("counts = %d steps, %d spans", j.StepCount(), j.SpanCount())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", got, buf.String())
+	}
+
+	steps, spans, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || len(spans) != 1 {
+		t.Fatalf("read %d steps, %d spans", len(steps), len(spans))
+	}
+	if steps[0] != s1 {
+		t.Errorf("step round trip: got %+v, want %+v", steps[0], s1)
+	}
+	if spans[0] != sp {
+		t.Errorf("span round trip: got %+v, want %+v", spans[0], sp)
+	}
+}
+
+func TestReadJSONLUnknownType(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader(`{"t":"bogus"}`)); err == nil {
+		t.Fatal("want error for unknown line type")
+	}
+}
+
+func TestMemoryAggregates(t *testing.T) {
+	m := &Memory{}
+	for i := 1; i <= 3; i++ {
+		s := StepSample{Step: i, DeliveredTotal: i * 2, InFlight: 10 - i, MaxQueue: i}
+		s.LinkUse[2] = i
+		m.Step(s)
+	}
+	m.Span(Span{Name: "basecase"})
+	if got := m.DeliveryCurve(); len(got) != 3 || got[2] != 6 {
+		t.Fatalf("DeliveryCurve = %v", got)
+	}
+	if m.PeakQueue() != 3 {
+		t.Fatalf("PeakQueue = %d", m.PeakQueue())
+	}
+	if m.PeakInFlight() != 9 {
+		t.Fatalf("PeakInFlight = %d", m.PeakInFlight())
+	}
+	if lu := m.TotalLinkUse(); lu[2] != 6 {
+		t.Fatalf("TotalLinkUse = %v", lu)
+	}
+	if len(m.Spans) != 1 {
+		t.Fatalf("Spans = %v", m.Spans)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Memory{}, &Memory{}
+	mu := Multi{a, b}
+	mu.Step(StepSample{Step: 1})
+	mu.Span(Span{Name: "march"})
+	if len(a.Steps) != 1 || len(b.Steps) != 1 || len(a.Spans) != 1 || len(b.Spans) != 1 {
+		t.Fatal("Multi did not fan out to all sinks")
+	}
+}

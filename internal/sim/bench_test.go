@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"meshroute/internal/grid"
+	"meshroute/internal/obs"
 )
 
 // BenchmarkStepDense measures one engine step on a fully loaded mesh (the
@@ -46,6 +47,47 @@ func BenchmarkStepSparse(b *testing.B) {
 		return net
 	}
 	net := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.Done() {
+			b.StopTimer()
+			net = mk()
+			b.StartTimer()
+		}
+		if err := net.StepOnce(greedyXY{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepDenseNilSink is BenchmarkStepDense with the metrics sink
+// explicitly set to nil: the numbers must match BenchmarkStepDense (the
+// observability layer's disabled case costs one branch per step), and
+// allocs/op is the regression guard for "nil sink allocates 0 extra".
+func BenchmarkStepDenseNilSink(b *testing.B) {
+	benchStepDense(b, nil)
+}
+
+// BenchmarkStepDenseMemSink measures the enabled-sampling overhead: the
+// same dense step loop feeding an in-memory sink.
+func BenchmarkStepDenseMemSink(b *testing.B) {
+	benchStepDense(b, &obs.Memory{})
+}
+
+func benchStepDense(b *testing.B, sink obs.Sink) {
+	const n = 64
+	mk := func() *Network {
+		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(n-1-x, n-1-y))))
+			}
+		}
+		net.SetMetricsSink(sink)
+		return net
+	}
+	net := mk()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if net.Done() {

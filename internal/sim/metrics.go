@@ -1,5 +1,7 @@
 package sim
 
+import "meshroute/internal/obs"
+
 // Metrics accumulates run statistics: makespan, delays, hop counts, and
 // peak queue occupancy (the quantity bounded by k in the paper's model and
 // by the constants of Lemma 28 in the Section 6 algorithm).
@@ -62,10 +64,46 @@ func (m *Metrics) noteStep(net *Network, step int) {
 	}
 }
 
+// emitStepSample builds the end-of-step obs.StepSample and feeds it to the
+// installed metrics sink. Only called when a sink is installed; the sample
+// is a stack value and the loops below allocate nothing, so the disabled
+// path (nil sink) costs exactly one branch in StepOnce.
+func (net *Network) emitStepSample(step int, arrivals []arrival, delivered int) {
+	s := obs.StepSample{
+		Step:           step,
+		Moves:          len(arrivals),
+		Delivered:      delivered,
+		DeliveredTotal: net.delivered,
+	}
+	for _, a := range arrivals {
+		s.LinkUse[a.dir]++
+	}
+	for _, id := range net.occ {
+		node := &net.nodes[id]
+		if len(node.Packets) == 0 {
+			continue
+		}
+		s.OccupiedNodes++
+		s.InFlight += len(node.Packets)
+		for tag := uint8(0); tag < numTags; tag++ {
+			if tag == OriginTag && net.Queues == PerInlinkQueues {
+				continue
+			}
+			if c := int(node.counts[tag]); c > 0 {
+				s.QueueHist.Add(c)
+				if c > s.MaxQueue {
+					s.MaxQueue = c
+				}
+			}
+		}
+	}
+	net.sink.Step(s)
+}
+
 // AvgDelay returns the mean delivery delay over delivered packets, or 0.
 func (net *Network) AvgDelay() float64 {
-	if net.deliverd == 0 {
+	if net.delivered == 0 {
 		return 0
 	}
-	return float64(net.Metrics.SumDelay) / float64(net.deliverd)
+	return float64(net.Metrics.SumDelay) / float64(net.delivered)
 }

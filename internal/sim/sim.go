@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"meshroute/internal/grid"
+	"meshroute/internal/obs"
 )
 
 // QueueModel selects how a node's storage is organized.
@@ -209,13 +210,14 @@ type Network struct {
 	occ      []grid.NodeID // occupied node list (maintained sorted)
 	isOcc    []bool
 	total    int
-	deliverd int
+	delivered int
 	packets  []*Packet // all placed packets by ID order
 
 	pendingInj map[int][]*Packet // injection step -> packets
 	backlog    [][]*Packet       // per node: injected but not yet in queue
 	exchange   ExchangeFn
 	observer   ObserverFn
+	sink       obs.Sink
 
 	// Metrics accumulates run statistics.
 	Metrics Metrics
@@ -272,11 +274,11 @@ func (net *Network) Packets() []*Packet { return net.packets }
 func (net *Network) TotalPackets() int { return net.total }
 
 // DeliveredCount returns the number of packets delivered so far.
-func (net *Network) DeliveredCount() int { return net.deliverd }
+func (net *Network) DeliveredCount() int { return net.delivered }
 
 // Done reports whether every packet has been delivered.
 func (net *Network) Done() bool {
-	return net.deliverd == net.total && len(net.pendingInj) == 0
+	return net.delivered == net.total && len(net.pendingInj) == 0
 }
 
 // SetExchange installs the adversary exchange hook.
@@ -299,6 +301,18 @@ type ObserverFn func(rec StepRecord)
 
 // SetObserver installs a per-step observer (tracing, visualization).
 func (net *Network) SetObserver(fn ObserverFn) { net.observer = fn }
+
+// SetMetricsSink installs a metrics sink that receives one obs.StepSample
+// at the end of every step: per-direction link utilization, the delivery
+// curve, in-flight packet counts, and the end-of-step queue-occupancy
+// histogram. A nil sink (the default) disables sampling entirely; the
+// step loop then pays one branch and allocates nothing extra. Pass an
+// untyped nil to disable — a nil *obs.JSONL stored in the interface is
+// not nil and will be called.
+func (net *Network) SetMetricsSink(s obs.Sink) { net.sink = s }
+
+// MetricsSink returns the installed metrics sink, or nil.
+func (net *Network) MetricsSink() obs.Sink { return net.sink }
 
 // NewPacket allocates a packet with the next free ID, routed from src to
 // dst. The packet is not placed; use Place or QueueInjection.
@@ -326,7 +340,7 @@ func (net *Network) Place(p *Packet) error {
 	p.At = p.Src
 	if p.Src == p.Dst {
 		p.DeliverStep = 0
-		net.deliverd++
+		net.delivered++
 		net.Metrics.noteDelivered(p, 0)
 		return nil
 	}

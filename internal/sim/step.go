@@ -28,13 +28,20 @@ func (net *Network) run(alg Algorithm, maxSteps int, allowPartial bool) (int, er
 				return net.step - start, nil
 			}
 			return net.step - start, fmt.Errorf("sim: %s did not deliver all packets in %d steps (%d/%d delivered)",
-				alg.Name(), maxSteps, net.deliverd, net.total)
+				alg.Name(), maxSteps, net.delivered, net.total)
 		}
 		if err := net.StepOnce(alg); err != nil {
 			return net.step - start, err
 		}
 	}
 	return net.step - start, nil
+}
+
+// arrival is one accepted transmission being applied in part (d).
+type arrival struct {
+	p   *Packet
+	to  grid.NodeID
+	dir grid.Dir
 }
 
 // StepOnce executes one synchronous step: outqueue scheduling, adversary
@@ -49,6 +56,7 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	}
 	net.step++
 	t := net.step
+	deliveredBefore := net.delivered
 
 	net.injectPending(t)
 	net.compactOcc()
@@ -118,11 +126,6 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	// Part (c): inqueue policies accept or refuse. Packets scheduled into
 	// their destination are delivered on arrival and occupy no queue
 	// space, so they bypass the inqueue policy.
-	type arrival struct {
-		p   *Packet
-		to  grid.NodeID
-		dir grid.Dir
-	}
 	var arrivals []arrival
 	byTarget := net.scratch.byTarget
 	targets := net.scratch.targets[:0]
@@ -176,7 +179,7 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		if a.to == p.Dst {
 			p.At = a.to
 			p.DeliverStep = t
-			net.deliverd++
+			net.delivered++
 			net.Metrics.noteDelivered(p, t)
 			continue
 		}
@@ -209,6 +212,10 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	}
 
 	net.Metrics.noteStep(net, t)
+
+	if net.sink != nil {
+		net.emitStepSample(t, arrivals, net.delivered-deliveredBefore)
+	}
 
 	if net.observer != nil {
 		rec := StepRecord{Step: t}
@@ -277,7 +284,7 @@ func (net *Network) injectPending(t int) {
 				p.At = p.Dst
 				p.InjectStep = t
 				p.DeliverStep = t
-				net.deliverd++
+				net.delivered++
 				net.Metrics.noteDelivered(p, t)
 				bl = bl[1:]
 				continue

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"meshroute/internal/obs"
+)
+
+// Series aggregates a recorded trace into the observability layer's
+// per-step time-series type, so a trace captured with Recorder can be
+// analyzed with the same tooling as a live obs.Sink feed.
+//
+// A trace records movements only, so the movement-derived fields (Moves,
+// LinkUse, Delivered, DeliveredTotal) are exact, while InFlight is a
+// lower bound: it counts packets that have moved at least once and are
+// not yet delivered (packets still sitting at their source are invisible
+// to the trace until their first hop). Queue-occupancy fields
+// (OccupiedNodes, MaxQueue, QueueHist) require node state the trace does
+// not carry and are left zero — attach an obs sink to the live run (or
+// replay the run) when those are needed.
+func Series(steps []StepTrace) []obs.StepSample {
+	out := make([]obs.StepSample, 0, len(steps))
+	seen := map[int32]bool{}
+	deliveredTotal := 0
+	for _, st := range steps {
+		s := obs.StepSample{Step: st.Step, Moves: len(st.Moves), Delivered: len(st.Delivered)}
+		for _, m := range st.Moves {
+			s.LinkUse[m.Dir]++
+			if !seen[m.Packet] {
+				seen[m.Packet] = true
+			}
+		}
+		deliveredTotal += len(st.Delivered)
+		s.DeliveredTotal = deliveredTotal
+		s.InFlight = len(seen) - deliveredTotal
+		out = append(out, s)
+	}
+	return out
+}
