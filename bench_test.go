@@ -103,7 +103,7 @@ func BenchmarkE4Theorem15Upper(b *testing.B) {
 	topo := grid.NewSquareMesh(n)
 	var mk, maxq int
 	for i := 0; i < b.N; i++ {
-		net := sim.New(routers.Thm15Config(topo, k))
+		net := sim.MustNew(routers.Thm15Config(topo, k))
 		if err := workload.Reversal(topo).Place(net); err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +182,7 @@ func BenchmarkE8AverageCase(b *testing.B) {
 	spec, _ := LookupRouter(RouterThm15)
 	var mk int
 	for i := 0; i < b.N; i++ {
-		net := sim.New(routers.Thm15Config(topo, 2))
+		net := sim.MustNew(routers.Thm15Config(topo, 2))
 		if err := workload.Random(topo, int64(i)).Place(net); err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func BenchmarkE11CrossHardness(b *testing.B) {
 	b.ResetTimer()
 	var mk int
 	for i := 0; i < b.N; i++ {
-		net := sim.New(specZ.Config(grid.NewSquareMesh(120), 2))
+		net := sim.MustNew(specZ.Config(grid.NewSquareMesh(120), 2))
 		if err := perm.Place(net); err != nil {
 			b.Fatal(err)
 		}
@@ -350,7 +350,7 @@ func BenchmarkE13RandomizedHatch(b *testing.B) {
 	b.ResetTimer()
 	var mk int
 	for i := 0; i < b.N; i++ {
-		net := sim.New(sim.Config{
+		net := sim.MustNew(sim.Config{
 			Topo: grid.NewSquareMesh(120), K: 4, Queues: sim.CentralQueue,
 			RequireMinimal: true, CheckInvariants: true,
 		})
@@ -383,7 +383,7 @@ func BenchmarkEngineStep(b *testing.B) {
 	const n = 64
 	topo := grid.NewSquareMesh(n)
 	spec, _ := LookupRouter(RouterThm15)
-	net := sim.New(routers.Thm15Config(topo, 2))
+	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	if err := workload.Reversal(topo).Place(net); err != nil {
 		b.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func BenchmarkEngineStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if net.Done() {
 			b.StopTimer()
-			net = sim.New(routers.Thm15Config(topo, 2))
+			net = sim.MustNew(routers.Thm15Config(topo, 2))
 			if err := workload.Reversal(topo).Place(net); err != nil {
 				b.Fatal(err)
 			}
@@ -414,7 +414,7 @@ func BenchmarkEngineStepMetricsSink(b *testing.B) {
 	topo := grid.NewSquareMesh(n)
 	spec, _ := LookupRouter(RouterThm15)
 	sink := &obs.Memory{}
-	net := sim.New(routers.Thm15Config(topo, 2))
+	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	net.SetMetricsSink(sink)
 	if err := workload.Reversal(topo).Place(net); err != nil {
 		b.Fatal(err)
@@ -425,7 +425,7 @@ func BenchmarkEngineStepMetricsSink(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if net.Done() {
 			b.StopTimer()
-			net = sim.New(routers.Thm15Config(topo, 2))
+			net = sim.MustNew(routers.Thm15Config(topo, 2))
 			net.SetMetricsSink(sink)
 			sink.Steps = sink.Steps[:0]
 			if err := workload.Reversal(topo).Place(net); err != nil {

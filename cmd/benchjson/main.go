@@ -104,7 +104,7 @@ func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
 // permCell routes a permutation with a sim-engine router and reports
 // makespan and peak queue.
 func permCell(cfg sim.Config, alg func() sim.Algorithm, perm *workload.Permutation, budget int) (stats, error) {
-	net := sim.New(cfg)
+	net := sim.MustNew(cfg)
 	if err := perm.Place(net); err != nil {
 		return stats{}, err
 	}
@@ -243,7 +243,7 @@ func cells() []cell {
 			if err != nil {
 				return stats{}, err
 			}
-			net := sim.New(sim.Config{Topo: grid.NewSquareMesh(120), K: 2, Queues: sim.CentralQueue, RequireMinimal: true})
+			net := sim.MustNew(sim.Config{Topo: grid.NewSquareMesh(120), K: 2, Queues: sim.CentralQueue, RequireMinimal: true})
 			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
 				return stats{}, err
 			}
@@ -255,7 +255,7 @@ func cells() []cell {
 		{"E12", "dynamic-thm15-n32-k2-load0.6", func() (stats, error) {
 			const n, horizon = 32, 16 * 32
 			topo := grid.NewSquareMesh(n)
-			net := sim.New(routers.Thm15Config(topo, 2))
+			net := sim.MustNew(routers.Thm15Config(topo, 2))
 			lambda := 0.6 * 4 / float64(n)
 			rng := rand.New(rand.NewSource(7))
 			for step := 1; step <= horizon; step++ {
@@ -282,7 +282,7 @@ func cells() []cell {
 			if err != nil {
 				return stats{}, err
 			}
-			net := sim.New(sim.Config{Topo: grid.NewSquareMesh(120), K: 4, Queues: sim.CentralQueue, RequireMinimal: true})
+			net := sim.MustNew(sim.Config{Topo: grid.NewSquareMesh(120), K: 4, Queues: sim.CentralQueue, RequireMinimal: true})
 			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
 				return stats{}, err
 			}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -30,6 +31,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full (slow) parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5,A2)")
+	csvDir := flag.String("csv", "", "also write each experiment's table as <id>.csv into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -46,7 +48,7 @@ func main() {
 		cpuOut = f
 	}
 
-	err := runAll(*full, *only)
+	err := runAll(*full, *only, *csvDir)
 
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
@@ -78,11 +80,16 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
-func runAll(full bool, only string) error {
+func runAll(full bool, only, csvDir string) error {
 	want := map[string]bool{}
 	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
 			want[id] = true
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
 		}
 	}
 
@@ -95,6 +102,7 @@ func runAll(full bool, only string) error {
 		{"E4", experiments.E4}, {"E5", experiments.E5}, {"E6", experiments.E6},
 		{"E7", experiments.E7}, {"E8", experiments.E8}, {"E9", experiments.E9},
 		{"E10", experiments.E10}, {"E11", experiments.E11}, {"E12", experiments.E12}, {"E13", experiments.E13}, {"E14", experiments.E14},
+		{"E15", experiments.E15},
 		{"A1", experiments.A1}, {"A2", experiments.A2},
 	}
 	quick := !full
@@ -109,6 +117,21 @@ func runAll(full bool, only string) error {
 		}
 		fmt.Println(rep)
 		fmt.Printf("   (%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		if csvDir != "" {
+			path := filepath.Join(csvDir, strings.ToLower(e.id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := rep.Table.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("   (table written to %s)\n\n", path)
+		}
 	}
 	return nil
 }

@@ -46,8 +46,24 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+		faultSeed   = flag.Int64("fault-seed", 1, "fault schedule seed")
+		faultLinks  = flag.Int("fault-links", 0, "number of link-failure episodes to inject (0 = no link faults)")
+		faultDown   = flag.Int("fault-down", 50, "mean duration of a transient link failure, in steps")
+		faultPerm   = flag.Float64("fault-perm", 0, "fraction of link failures that are permanent (0..1)")
+		faultStalls = flag.Int("fault-stalls", 0, "number of node-stall episodes to inject")
+		faultStall  = flag.Int("fault-stall", 20, "mean duration of a node stall, in steps")
+		faultHoriz  = flag.Int("fault-horizon", 0, "fault onsets are uniform in [1,horizon] (0 = 4n, the traffic timescale)")
+		faultAware  = flag.Bool("fault-aware", false, "use the router's fault-aware variant (zigzag, rand-zigzag)")
+		watchdog    = flag.Int("watchdog", 0, "abort after this many steps without a delivery (0 = off)")
 	)
 	flag.Parse()
+
+	fopts := faultOpts{
+		seed: *faultSeed, links: *faultLinks, down: *faultDown, perm: *faultPerm,
+		stalls: *faultStalls, stall: *faultStall, horizon: *faultHoriz,
+		aware: *faultAware, watchdog: *watchdog,
+	}
 
 	var cpuOut *os.File
 	if *cpuprofile != "" {
@@ -60,7 +76,7 @@ func main() {
 		}
 		cpuOut = f
 	}
-	err := run(*router, *n, *k, *wl, *seed, *h, *torus, *maxSteps, *improved, *showViz, *traceFile, *metricsOut)
+	err := run(*router, *n, *k, *wl, *seed, *h, *torus, *maxSteps, *improved, *showViz, *traceFile, *metricsOut, fopts)
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuOut.Close(); cerr != nil && err == nil {
@@ -92,7 +108,41 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
-func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxSteps int, improved, showViz bool, traceFile, metricsOut string) error {
+// faultOpts carries the -fault-* and -watchdog flag values.
+type faultOpts struct {
+	seed          int64
+	links, stalls int
+	down, stall   int
+	horizon       int
+	perm          float64
+	aware         bool
+	watchdog      int
+}
+
+// schedule builds the fault schedule from the flags, or nil when no faults
+// were requested. Onsets must land while traffic is still in flight to
+// matter, so the default horizon is the delivery timescale (4n covers the
+// ~2n–3n makespan of permutation workloads), not the step budget.
+func (o faultOpts) schedule(topo meshroute.Topology, n int) (*meshroute.FaultSchedule, error) {
+	if o.links == 0 && o.stalls == 0 {
+		return nil, nil
+	}
+	horizon := o.horizon
+	if horizon <= 0 {
+		horizon = 4 * n
+	}
+	return meshroute.GenerateFaults(topo, meshroute.FaultConfig{
+		Seed:          o.seed,
+		Horizon:       horizon,
+		LinkFailures:  o.links,
+		MeanDownSteps: o.down,
+		PermanentFrac: o.perm,
+		NodeStalls:    o.stalls,
+		MeanStallSteps: o.stall,
+	})
+}
+
+func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxSteps int, improved, showViz bool, traceFile, metricsOut string, fopts faultOpts) error {
 	var topo meshroute.Topology
 	if torus {
 		topo = meshroute.NewTorus(n)
@@ -173,8 +223,22 @@ func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxS
 		return closeSink()
 	}
 
+	budget := maxSteps
+	if budget <= 0 {
+		budget = 200 * (n*n/k + 2*n)
+	}
+	faults, err := fopts.schedule(topo, n)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		fmt.Printf("faults: %s (seed %d)\n", faults, fopts.seed)
+	}
+
 	if !showViz && traceFile == "" && sink == nil {
-		st, err := meshroute.Route(router, topo, k, perm, maxSteps)
+		st, err := meshroute.RouteWithOptions(router, topo, k, perm, meshroute.RouteOptions{
+			MaxSteps: budget, Faults: faults, FaultAware: fopts.aware, Watchdog: fopts.watchdog,
+		})
 		if err != nil {
 			return err
 		}
@@ -187,7 +251,13 @@ func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxS
 	if err != nil {
 		return err
 	}
-	net := sim.New(spec.Config(topo, k))
+	cfg := spec.Config(topo, k)
+	cfg.Faults = faults
+	cfg.Watchdog = fopts.watchdog
+	net, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
 	if err := perm.Place(net); err != nil {
 		return err
 	}
@@ -204,15 +274,26 @@ func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxS
 		rec = trace.NewRecorder(traceOut)
 		rec.Attach(net)
 	}
-	budget := maxSteps
-	if budget <= 0 {
-		budget = 200 * (n*n/k + 2*n)
+	newAlg := spec.New
+	if fopts.aware {
+		if spec.NewFaultAware == nil {
+			return fmt.Errorf("router %q has no fault-aware variant", router)
+		}
+		newAlg = spec.NewFaultAware
 	}
-	alg := spec.New()
+	alg := newAlg()
 	snapshotAt := n / 2 // mid-flight occupancy
+	lastProg, lastCount := 0, 0
 	for !net.Done() && net.Step() < budget {
 		if err := net.StepOnce(alg); err != nil {
 			return err
+		}
+		if c := net.DeliveredCount(); c > lastCount {
+			lastCount, lastProg = c, net.Step()
+		}
+		if w := fopts.watchdog; w > 0 && net.Step()-lastProg >= w && !net.Done() {
+			return fmt.Errorf("watchdog: no delivery for %d steps (aborted at step %d): %s",
+				w, net.Step(), net.CollectDiagnostics())
 		}
 		if showViz && net.Step() == snapshotAt {
 			fmt.Printf("occupancy after %d steps:\n%s\n", snapshotAt, viz.Occupancy(net))
@@ -234,6 +315,7 @@ func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxS
 		Makespan: net.Metrics.Makespan, Steps: net.Step(), Done: net.Done(),
 		Delivered: net.DeliveredCount(), Total: net.TotalPackets(),
 		MaxQueue: net.Metrics.MaxQueueLen, AvgDelay: net.AvgDelay(),
+		FaultDrops: net.Metrics.FaultDrops,
 	}
 	printStats(router, n, k, st)
 	if showViz && traceFile != "" {
@@ -257,4 +339,7 @@ func printStats(router string, n, k int, st meshroute.RouteStats) {
 	fmt.Printf("  delivered: %d/%d (done=%v in %d steps)\n", st.Delivered, st.Total, st.Done, st.Steps)
 	fmt.Printf("  makespan:  %d steps (%.2f·n)\n", st.Makespan, float64(st.Makespan)/float64(n))
 	fmt.Printf("  max queue: %d, avg delay: %.1f\n", st.MaxQueue, st.AvgDelay)
+	if st.FaultDrops > 0 {
+		fmt.Printf("  fault drops: %d moves\n", st.FaultDrops)
+	}
 }

@@ -43,7 +43,7 @@ func main() {
 
 func run(title string, topo meshroute.Topology, k int, perm *meshroute.Permutation) {
 	n := topo.Width()
-	net := sim.New(routers.Thm15Config(topo, k))
+	net := sim.MustNew(routers.Thm15Config(topo, k))
 	if err := perm.Place(net); err != nil {
 		log.Fatal(err)
 	}

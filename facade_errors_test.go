@@ -1,6 +1,9 @@
 package meshroute
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRouteUnknownRouter(t *testing.T) {
 	topo := NewMesh(8)
@@ -44,5 +47,64 @@ func TestRandZigZagViaFacade(t *testing.T) {
 	}
 	if !st.Done {
 		t.Fatal("randomized router must finish random permutations")
+	}
+}
+
+func TestNewNetworkValidatesConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  NetworkConfig
+		want string
+	}{
+		{"nil topo", NetworkConfig{K: 1}, "topology"},
+		{"bad K", NetworkConfig{Topo: NewMesh(4), K: 0}, "queue capacity"},
+		{"bad watchdog", NetworkConfig{Topo: NewMesh(4), K: 1, Watchdog: -1}, "watchdog"},
+	}
+	for _, c := range cases {
+		net, err := NewNetwork(c.cfg)
+		if err == nil || net != nil {
+			t.Fatalf("%s: want error, got net=%v err=%v", c.name, net, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if _, err := NewNetwork(NetworkConfig{Topo: NewMesh(4), K: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewNetworkRejectsMismatchedFaultSchedule(t *testing.T) {
+	sched, err := GenerateFaults(NewMesh(8), FaultConfig{Seed: 1, Horizon: 50, LinkFailures: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNetwork(NetworkConfig{Topo: NewMesh(6), K: 2, Faults: sched}); err == nil {
+		t.Fatal("schedule generated for an 8x8 mesh must be rejected on a 6x6 one")
+	}
+}
+
+func TestRouteWithOptionsFaultAware(t *testing.T) {
+	topo := NewMesh(12)
+	sched, err := GenerateFaults(topo, FaultConfig{Seed: 3, Horizon: 200, LinkFailures: 8, MeanDownSteps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RouteWithOptions(RouterZigZag, topo, 4, RandomPermutation(topo, 4), RouteOptions{
+		Faults: sched, FaultAware: true, Watchdog: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("fault-aware zigzag must survive transient faults: %+v", st)
+	}
+}
+
+func TestRouteWithOptionsNoFaultAwareVariant(t *testing.T) {
+	topo := NewMesh(8)
+	_, err := RouteWithOptions(RouterDimOrder, topo, 2, RandomPermutation(topo, 1), RouteOptions{FaultAware: true})
+	if err == nil || !strings.Contains(err.Error(), "fault-aware") {
+		t.Fatalf("dimension order has no fault-aware variant; got %v", err)
 	}
 }

@@ -246,7 +246,7 @@ func TestExchangeAblation(t *testing.T) {
 	}
 	// Count undelivered hard packets at step ⌊l⌋dn under the *initial*
 	// assignment (no adversary at all).
-	net := sim.New(sim.Config{Topo: c.Topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := sim.MustNew(sim.Config{Topo: c.Topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	for _, re := range roster {
 		net.MustPlace(net.NewPacket(c.node(re.src.X, re.src.Y), c.node(re.dst.X, re.dst.Y)))
 	}
@@ -287,7 +287,7 @@ func TestTorusEmbedding(t *testing.T) {
 func TestConfigsEqualDetectsDifferences(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
 	mk := func(dst grid.NodeID) *sim.Network {
-		net := sim.New(sim.Config{Topo: topo, K: 2, Queues: sim.CentralQueue})
+		net := sim.MustNew(sim.Config{Topo: topo, K: 2, Queues: sim.CentralQueue})
 		net.MustPlace(net.NewPacket(0, dst))
 		return net
 	}

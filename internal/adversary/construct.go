@@ -311,7 +311,7 @@ func (c *Construction) Run(alg sim.Algorithm) (*Result, error) {
 	if netK == 0 {
 		netK = c.Par.K
 	}
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               netK,
 		Queues:          c.Queues,

@@ -137,7 +137,7 @@ func (c *DOConstruction) Run(alg sim.Algorithm) (*Result, error) {
 	if netK == 0 {
 		netK = par.K
 	}
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               netK,
 		Queues:          c.Queues,
@@ -322,7 +322,7 @@ func (c *DOConstruction) Replay(res *Result, alg sim.Algorithm) (*sim.Network, e
 	if netK == 0 {
 		netK = c.Par.K
 	}
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               netK,
 		Queues:          c.Queues,

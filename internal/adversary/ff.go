@@ -114,7 +114,7 @@ func (c *FFConstruction) inBox(lc grid.Coord, i int) bool {
 // distance-inspecting) algorithm and returns the constructed permutation.
 func (c *FFConstruction) Run(alg sim.Algorithm) (*Result, error) {
 	par := c.Par
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               par.K,
 		Queues:          sim.CentralQueue,
@@ -300,7 +300,7 @@ func (c *FFConstruction) check(net *sim.Network, t int) error {
 // rather than Lemma 10; ConfigsEqual is still checked and any difference is
 // reported in the returned error.
 func (c *FFConstruction) Replay(res *Result, alg sim.Algorithm) (*sim.Network, error) {
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               c.Par.K,
 		Queues:          sim.CentralQueue,

@@ -26,7 +26,7 @@ func (c *Construction) Replay(res *Result, alg sim.Algorithm) (*sim.Network, err
 	if netK == 0 {
 		netK = c.Par.K
 	}
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo:            c.Topo,
 		K:               netK,
 		Queues:          c.Queues,

@@ -81,6 +81,12 @@ type NodeCtx struct {
 	Views []View
 	// Outlinks is the set of outlinks that exist at this node.
 	Outlinks grid.DirSet
+	// Up is the subset of Outlinks whose links are currently up. Without
+	// fault injection Up == Outlinks. A fault-aware policy may consult it
+	// (link status is locally observable at the node); policies that
+	// ignore it behave identically with and without faults — exactly the
+	// Section 2 model.
+	Up grid.DirSet
 	// QueueLens holds the current occupancy of each queue tag.
 	QueueLens [5]int
 
@@ -145,6 +151,7 @@ func (a *Adapter) fill(net *sim.Network, n *sim.Node) *NodeCtx {
 			c.Outlinks = c.Outlinks.Set(d)
 		}
 	}
+	c.Up = c.Outlinks &^ net.DownOutlinks(n.ID)
 	for tag := uint8(0); tag < 5; tag++ {
 		c.QueueLens[tag] = n.QueueLen(tag)
 	}

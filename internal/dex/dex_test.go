@@ -61,7 +61,7 @@ func (s *spyPolicy) Update(c *NodeCtx) {
 }
 
 func newNet(n, k int) *sim.Network {
-	return sim.New(sim.Config{
+	return sim.MustNew(sim.Config{
 		Topo:            grid.NewSquareMesh(n),
 		K:               k,
 		Queues:          sim.CentralQueue,

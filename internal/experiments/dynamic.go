@@ -41,7 +41,7 @@ func E12(quick bool) (*Report, error) {
 	topo := grid.NewSquareMesh(n)
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
 		lambda := frac * 4 / float64(n)
-		net := sim.New(routers.Thm15Config(topo, 2))
+		net := sim.MustNew(routers.Thm15Config(topo, 2))
 		rng := rand.New(rand.NewSource(7))
 		// Pre-schedule the whole injection pattern (deterministic).
 		for step := 1; step <= horizon; step++ {

@@ -236,7 +236,7 @@ func E4(quick bool) (*Report, error) {
 				{"transpose", workload.Transpose(topo)},
 				{"random", workload.Random(topo, int64(n+k))},
 			} {
-				net := sim.New(routers.Thm15Config(topo, k))
+				net := sim.MustNew(routers.Thm15Config(topo, k))
 				if err := wl.perm.Place(net); err != nil {
 					return nil, err
 				}
@@ -386,7 +386,7 @@ func E8(quick bool) (*Report, error) {
 				{"dimorder k=4", dimOrder, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
 				{"zigzag k=4", zigzag, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
 			} {
-				net := sim.New(rt.cfg)
+				net := sim.MustNew(rt.cfg)
 				if err := wl.perm.Place(net); err != nil {
 					return nil, err
 				}
@@ -455,7 +455,7 @@ func E9(quick bool) (*Report, error) {
 	rep.Table.AddRow("clt-section6", "minimal, NOT dex (hatch 1)", cres.TimeFormula, float64(cres.TimeFormula)/float64(bound), true)
 
 	// Hot potato: destination-exchangeable but nonminimal.
-	net := sim.New(routers.HotPotatoConfig(grid.NewSquareMesh(n)))
+	net := sim.MustNew(routers.HotPotatoConfig(grid.NewSquareMesh(n)))
 	if err := perm.Place(net); err != nil {
 		return nil, err
 	}

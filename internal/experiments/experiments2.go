@@ -85,7 +85,7 @@ func E11(quick bool) (*Report, error) {
 		perm := &workload.Permutation{Pairs: res.Permutation}
 		cap := 40 * res.Steps
 		for _, router := range targets {
-			net := sim.New(sim.Config{
+			net := sim.MustNew(sim.Config{
 				Topo: c.Topo, K: k, Queues: sim.CentralQueue,
 				RequireMinimal: true, CheckInvariants: true,
 			})
@@ -105,7 +105,7 @@ func E11(quick bool) (*Report, error) {
 		}
 		// The Theorem 15 router (different queue model, not covered by
 		// this instance's constants) for context.
-		net := sim.New(routers.Thm15Config(c.Topo, k))
+		net := sim.MustNew(routers.Thm15Config(c.Topo, k))
 		if err := perm.Place(net); err != nil {
 			return nil, err
 		}

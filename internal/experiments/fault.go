@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"meshroute/internal/dex"
+	"meshroute/internal/fault"
+	"meshroute/internal/grid"
+	"meshroute/internal/par"
+	"meshroute/internal/routers"
+	"meshroute/internal/sim"
+	"meshroute/internal/stats"
+	"meshroute/internal/workload"
+)
+
+// E15 measures delivery-time degradation under transient link failures:
+// random permutations on the mesh routed by dimension order (fault-
+// oblivious — its fixed paths must wait out every failure) versus the
+// adaptive zigzag router in fault-aware mode (detours around failed links
+// whenever a profitable outlink survives). Each cell averages several
+// fault seeds; a livelock watchdog cuts wedged runs short, and runs are
+// reported as delivered-fraction + mean makespan over the completed
+// seeds. The fault model and the event stream it replays deterministically
+// are documented in docs/ROBUSTNESS.md.
+func E15(quick bool) (*Report, error) {
+	rep := &Report{
+		ID:    "E15",
+		Title: "Fault degradation: dimension order vs fault-aware adaptive under transient link failures",
+		Table: stats.NewTable("router", "n", "k", "failures", "seeds-done", "makespan", "base", "slowdown", "drops"),
+	}
+	const k = 3
+	n := 24
+	seeds := []int64{11, 12, 13}
+	failureLevels := []int{0, 8, 16, 32, 64}
+	if !quick {
+		n = 32
+		seeds = []int64{11, 12, 13, 14, 15}
+		failureLevels = []int{0, 8, 16, 32, 64, 128}
+	}
+	topo := grid.NewSquareMesh(n)
+	budget := 40 * (n*n/k + 2*n)
+
+	type family struct {
+		name string
+		alg  func() sim.Algorithm
+	}
+	families := []family{
+		{"dimorder", func() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) }},
+		{"zigzag-fa", func() sim.Algorithm { return dex.NewAdapter(routers.ZigZag{FaultAware: true}) }},
+	}
+
+	type cellIn struct {
+		fam      family
+		failures int
+	}
+	var cells []cellIn
+	for _, f := range families {
+		for _, fl := range failureLevels {
+			cells = append(cells, cellIn{f, fl})
+		}
+	}
+	type cellOut struct {
+		done     int
+		makespan float64
+		drops    int
+	}
+	outs, err := par.Map(len(cells), 0, func(i int) (cellOut, error) {
+		in := cells[i]
+		var out cellOut
+		sum, completed := 0, 0
+		for _, seed := range seeds {
+			// Onsets are drawn inside the fault-free delivery window
+			// (makespan ≈ 2n for random permutations), so the failures
+			// actually intersect the traffic instead of landing on a
+			// drained network.
+			sched, err := fault.Generate(topo, fault.Config{
+				Seed: seed, Horizon: 2 * n,
+				LinkFailures: in.failures, MeanDownSteps: n,
+			})
+			if err != nil {
+				return out, err
+			}
+			net, err := sim.New(sim.Config{
+				Topo: topo, K: k, Queues: sim.CentralQueue,
+				RequireMinimal: true, Faults: sched, Watchdog: 20 * n * n,
+			})
+			if err != nil {
+				return out, err
+			}
+			if err := workload.Random(topo, seed).Place(net); err != nil {
+				return out, err
+			}
+			_, err = net.RunPartial(in.fam.alg(), budget)
+			var le *sim.LivelockError
+			if err != nil && !errors.As(err, &le) {
+				return out, fmt.Errorf("E15 %s failures=%d seed=%d: %w", in.fam.name, in.failures, seed, err)
+			}
+			out.drops += net.Metrics.FaultDrops
+			if net.Done() {
+				completed++
+				sum += net.Metrics.Makespan
+			}
+		}
+		out.done = completed
+		if completed > 0 {
+			out.makespan = float64(sum) / float64(completed)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The zero-failure cell of each family is its no-fault baseline.
+	base := map[string]float64{}
+	for i, out := range outs {
+		if cells[i].failures == 0 && out.done > 0 {
+			base[cells[i].fam.name] = out.makespan
+		}
+	}
+	for i, out := range outs {
+		in := cells[i]
+		slow := "n/a"
+		if b := base[in.fam.name]; b > 0 && out.done > 0 {
+			slow = fmt.Sprintf("%.2fx", out.makespan/b)
+		}
+		rep.Table.AddRow(in.fam.name, n, k, in.failures,
+			fmt.Sprintf("%d/%d", out.done, len(seeds)), out.makespan, base[in.fam.name], slow, out.drops)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("transient failures, mean outage %d steps, onsets uniform in [1,%d]; watchdog %d steps", n, 2*n, 20*n*n),
+		"slowdown = mean makespan over completed seeds / same-router zero-failure baseline")
+	return rep, nil
+}

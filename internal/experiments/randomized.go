@@ -55,7 +55,7 @@ func E13(quick bool) (*Report, error) {
 
 	// Deterministic zigzag at the same k the randomized runs use, for an
 	// apples-to-apples queue comparison.
-	net4 := sim.New(sim.Config{
+	net4 := sim.MustNew(sim.Config{
 		Topo: grid.NewSquareMesh(n), K: 4, Queues: sim.CentralQueue,
 		RequireMinimal: true, CheckInvariants: true,
 	})
@@ -74,7 +74,7 @@ func E13(quick bool) (*Report, error) {
 		done bool
 	}
 	cells, err := par.Map(seeds, 0, func(i int) (cell, error) {
-		net := sim.New(sim.Config{
+		net := sim.MustNew(sim.Config{
 			Topo: grid.NewSquareMesh(n), K: 4, Queues: sim.CentralQueue,
 			RequireMinimal: true, CheckInvariants: true,
 		})

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"meshroute/internal/grid"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := grid.NewSquareMesh(12)
+	cfg := Config{Seed: 7, Horizon: 200, LinkFailures: 25, MeanDownSteps: 15,
+		PermanentFrac: 0.2, NodeStalls: 6, MeanStallSteps: 10}
+	a, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed must generate identical schedules")
+	}
+	c, err := Generate(topo, Config{Seed: 8, Horizon: 200, LinkFailures: 25,
+		MeanDownSteps: 15, PermanentFrac: 0.2, NodeStalls: 6, MeanStallSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds should generate different schedules")
+	}
+}
+
+func TestGenerateValidAndSorted(t *testing.T) {
+	topo := grid.NewSquareMesh(9)
+	s, err := Generate(topo, Config{Seed: 3, Horizon: 100, LinkFailures: 40,
+		MeanDownSteps: 5, PermanentFrac: 0.5, NodeStalls: 10, MeanStallSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(s.Events, func(i, j int) bool { return s.Events[i].Step < s.Events[j].Step }) {
+		t.Fatal("events must be sorted by step")
+	}
+	c := s.Counts()
+	if c[LinkDown] != 2*40 {
+		t.Fatalf("want %d link-down events (two per episode), got %d", 80, c[LinkDown])
+	}
+	if c[NodeStall] != 10 || c[NodeWake] != 10 {
+		t.Fatalf("want 10 stall/wake pairs, got %d/%d", c[NodeStall], c[NodeWake])
+	}
+	// Every transient down has a matching up; permanent downs have none.
+	perm := 0
+	for _, e := range s.Events {
+		if e.Kind == LinkDown && e.Permanent {
+			perm++
+		}
+	}
+	if c[LinkDown]-perm != c[LinkUp] {
+		t.Fatalf("transient downs (%d) must pair with ups (%d)", c[LinkDown]-perm, c[LinkUp])
+	}
+}
+
+func TestGenerateBidirectional(t *testing.T) {
+	topo := grid.NewSquareMesh(6)
+	s, err := Generate(topo, Config{Seed: 11, Horizon: 50, LinkFailures: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link-down events come in same-step pairs naming opposite channels.
+	byStep := map[int][]Event{}
+	for _, e := range s.Events {
+		if e.Kind == LinkDown {
+			byStep[e.Step] = append(byStep[e.Step], e)
+		}
+	}
+	for step, evs := range byStep {
+		if len(evs)%2 != 0 {
+			t.Fatalf("step %d has an unpaired link-down", step)
+		}
+	}
+}
+
+func TestGenerateTorusLinks(t *testing.T) {
+	topo := grid.NewSquareTorus(5)
+	if got, want := len(links(topo)), 2*5*5; got != want {
+		t.Fatalf("torus link count: got %d want %d", got, want)
+	}
+	mesh := grid.NewSquareMesh(5)
+	if got, want := len(links(mesh)), 2*5*4; got != want {
+		t.Fatalf("mesh link count: got %d want %d", got, want)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	if _, err := Generate(topo, Config{LinkFailures: -1}); err == nil {
+		t.Fatal("negative episode count must error")
+	}
+	if _, err := Generate(topo, Config{LinkFailures: 1}); err == nil {
+		t.Fatal("missing horizon must error")
+	}
+	if _, err := Generate(topo, Config{LinkFailures: 1, Horizon: 10, PermanentFrac: 1.5}); err == nil {
+		t.Fatal("PermanentFrac > 1 must error")
+	}
+	if _, err := Generate(grid.NewMesh(1, 1), Config{LinkFailures: 1, Horizon: 10}); err == nil {
+		t.Fatal("linkless topology must error")
+	}
+	empty, err := Generate(topo, Config{})
+	if err != nil || !empty.Empty() {
+		t.Fatalf("zero config must yield an empty schedule, got %v, %v", empty, err)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	topo := grid.NewSquareMesh(4)
+	cases := []Schedule{
+		{Events: []Event{{Step: 0, Kind: LinkDown, Node: 0, Dir: grid.East}}},
+		{Events: []Event{{Step: 1, Kind: LinkDown, Node: 99, Dir: grid.East}}},
+		{Events: []Event{{Step: 1, Kind: LinkDown, Node: 0, Dir: grid.West}}}, // missing outlink
+		{Events: []Event{{Step: 1, Kind: NodeStall, Node: 0, Dir: grid.East}}},
+		{Events: []Event{{Step: 1, Kind: Kind(9), Node: 0}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(topo); err == nil {
+			t.Fatalf("case %d must fail validation", i)
+		}
+	}
+	ok := Schedule{Events: []Event{{Step: 1, Kind: LinkDown, Node: 0, Dir: grid.East},
+		{Step: 2, Kind: NodeStall, Node: 3, Dir: grid.NoDir}}}
+	if err := ok.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -77,6 +77,9 @@ func (d Dir) Horizontal() bool { return d == East || d == West }
 // DirSet is a bitmask of directions.
 type DirSet uint8
 
+// AllDirs contains all four mesh directions.
+const AllDirs DirSet = 1<<NumDirs - 1
+
 // Set returns s with d added.
 func (s DirSet) Set(d Dir) DirSet { return s | 1<<d }
 

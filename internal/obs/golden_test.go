@@ -26,7 +26,7 @@ var update = flag.Bool("update", false, "rewrite the golden metrics JSONL file")
 func TestGoldenJSONL(t *testing.T) {
 	const n, k = 8, 2
 	topo := grid.NewSquareMesh(n)
-	net := sim.New(sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := sim.MustNew(sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	if err := workload.Reversal(topo).Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +59,12 @@ func TestGoldenJSONL(t *testing.T) {
 	}
 
 	// The golden stream must also round-trip through the reader.
-	steps, spans, err := obs.ReadJSONL(bytes.NewReader(want))
+	steps, spans, events, err := obs.ReadJSONL(bytes.NewReader(want))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(steps) == 0 || len(spans) != 0 {
-		t.Fatalf("golden stream decoded to %d steps, %d spans", len(steps), len(spans))
+	if len(steps) == 0 || len(spans) != 0 || len(events) != 0 {
+		t.Fatalf("golden stream decoded to %d steps, %d spans, %d events", len(steps), len(spans), len(events))
 	}
 	if final := steps[len(steps)-1]; final.DeliveredTotal != n*n || final.InFlight != 0 {
 		t.Fatalf("golden run did not drain: %+v", final)

@@ -14,6 +14,9 @@ const (
 	LineStep = "step"
 	// LineSpan marks a Span line.
 	LineSpan = "span"
+	// LineFault marks an Event line (fault/watchdog events, see
+	// docs/ROBUSTNESS.md).
+	LineFault = "fault"
 )
 
 // stepLine and spanLine wrap the payload types with the discriminator;
@@ -28,16 +31,22 @@ type spanLine struct {
 	Span
 }
 
+type faultLine struct {
+	T string `json:"t"`
+	Event
+}
+
 // JSONL is a Sink that streams samples and spans to a writer as JSON
 // lines. Writes are buffered; call Close to flush and surface the first
 // write error. After an error the sink drops further records, so a run
 // never fails mid-flight because its metrics file did.
 type JSONL struct {
-	w     *bufio.Writer
-	enc   *json.Encoder
-	err   error
-	steps int
-	spans int
+	w      *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	steps  int
+	spans  int
+	events int
 }
 
 // NewJSONL creates a JSONL sink writing to w.
@@ -70,11 +79,26 @@ func (j *JSONL) Span(sp Span) {
 	j.spans++
 }
 
+// Event writes one fault line.
+func (j *JSONL) Event(e Event) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(faultLine{T: LineFault, Event: e}); err != nil {
+		j.err = err
+		return
+	}
+	j.events++
+}
+
 // StepCount returns the number of step lines written.
 func (j *JSONL) StepCount() int { return j.steps }
 
 // SpanCount returns the number of span lines written.
 func (j *JSONL) SpanCount() int { return j.spans }
+
+// EventCount returns the number of fault lines written.
+func (j *JSONL) EventCount() int { return j.events }
 
 // Close flushes the buffer and returns the first write error, if any.
 func (j *JSONL) Close() error {
@@ -84,14 +108,15 @@ func (j *JSONL) Close() error {
 	return j.w.Flush()
 }
 
-// ReadJSONL parses a metrics JSONL stream back into samples and spans
-// (the inverse of the JSONL sink, for tests and offline analysis). Lines
-// with an unknown "t" are an error: the schema is versioned by its two
-// line types.
-func ReadJSONL(r io.Reader) ([]StepSample, []Span, error) {
+// ReadJSONL parses a metrics JSONL stream back into samples, spans and
+// fault events (the inverse of the JSONL sink, for tests and offline
+// analysis). Lines with an unknown "t" are an error: the schema is
+// versioned by its three line types.
+func ReadJSONL(r io.Reader) ([]StepSample, []Span, []Event, error) {
 	dec := json.NewDecoder(r)
 	var steps []StepSample
 	var spans []Span
+	var events []Event
 	for dec.More() {
 		var raw struct {
 			T string `json:"t"`
@@ -99,27 +124,33 @@ func ReadJSONL(r io.Reader) ([]StepSample, []Span, error) {
 		// Decode twice: once for the discriminator, once for the payload.
 		var payload json.RawMessage
 		if err := dec.Decode(&payload); err != nil {
-			return nil, nil, fmt.Errorf("obs: %w", err)
+			return nil, nil, nil, fmt.Errorf("obs: %w", err)
 		}
 		if err := json.Unmarshal(payload, &raw); err != nil {
-			return nil, nil, fmt.Errorf("obs: %w", err)
+			return nil, nil, nil, fmt.Errorf("obs: %w", err)
 		}
 		switch raw.T {
 		case LineStep:
 			var s StepSample
 			if err := json.Unmarshal(payload, &s); err != nil {
-				return nil, nil, fmt.Errorf("obs: step line: %w", err)
+				return nil, nil, nil, fmt.Errorf("obs: step line: %w", err)
 			}
 			steps = append(steps, s)
 		case LineSpan:
 			var sp Span
 			if err := json.Unmarshal(payload, &sp); err != nil {
-				return nil, nil, fmt.Errorf("obs: span line: %w", err)
+				return nil, nil, nil, fmt.Errorf("obs: span line: %w", err)
 			}
 			spans = append(spans, sp)
+		case LineFault:
+			var e Event
+			if err := json.Unmarshal(payload, &e); err != nil {
+				return nil, nil, nil, fmt.Errorf("obs: fault line: %w", err)
+			}
+			events = append(events, e)
 		default:
-			return nil, nil, fmt.Errorf("obs: unknown line type %q", raw.T)
+			return nil, nil, nil, fmt.Errorf("obs: unknown line type %q", raw.T)
 		}
 	}
-	return steps, spans, nil
+	return steps, spans, events, nil
 }

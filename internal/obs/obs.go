@@ -127,6 +127,28 @@ type Span struct {
 	Formula int `json:"formula"`
 }
 
+// Event is one fault or watchdog occurrence: a link going down or
+// recovering, a node stalling or waking, a livelock-watchdog abort, or an
+// unreachability detection (see docs/ROBUSTNESS.md for the semantics and
+// the JSONL wire format). Events are rare compared to steps, so they carry
+// a free-form detail string.
+type Event struct {
+	// Step is the engine step at which the event took effect.
+	Step int `json:"s"`
+	// Kind is the event kind: "link-down", "link-up", "node-stall",
+	// "node-wake", "watchdog" or "unreachable".
+	Kind string `json:"k"`
+	// Node is the affected node identifier (-1 for run-level events such
+	// as a watchdog abort).
+	Node int `json:"n"`
+	// Dir is the affected channel's direction name for link events.
+	Dir string `json:"d,omitempty"`
+	// Detail carries event-specific context (e.g. "permanent" for a
+	// permanent link failure, or the diagnostics summary of a watchdog
+	// abort).
+	Detail string `json:"msg,omitempty"`
+}
+
 // Sink receives metrics. Implementations must tolerate being called once
 // per engine step on hot loops; producers guard calls with a nil check so
 // a nil Sink costs nothing.
@@ -137,6 +159,15 @@ type Sink interface {
 	Span(sp Span)
 }
 
+// EventSink is the optional extension of Sink for fault and watchdog
+// events. Producers check for it once with a type assertion; sinks that do
+// not implement it simply never see events. Memory, JSONL and Multi all
+// implement it.
+type EventSink interface {
+	// Event records one fault/watchdog event.
+	Event(e Event)
+}
+
 // Memory is a Sink that accumulates everything in memory — the natural
 // sink for tests and for in-process aggregation.
 type Memory struct {
@@ -144,6 +175,8 @@ type Memory struct {
 	Steps []StepSample
 	// Spans holds every recorded span in emission order.
 	Spans []Span
+	// Events holds every recorded fault/watchdog event in emission order.
+	Events []Event
 }
 
 // Step appends the sample.
@@ -151,6 +184,9 @@ func (m *Memory) Step(s StepSample) { m.Steps = append(m.Steps, s) }
 
 // Span appends the span.
 func (m *Memory) Span(sp Span) { m.Spans = append(m.Spans, sp) }
+
+// Event appends the event.
+func (m *Memory) Event(e Event) { m.Events = append(m.Events, e) }
 
 // DeliveryCurve returns the cumulative deliveries per recorded step.
 func (m *Memory) DeliveryCurve() []int {
@@ -208,5 +244,14 @@ func (m Multi) Step(s StepSample) {
 func (m Multi) Span(sp Span) {
 	for _, sink := range m {
 		sink.Span(sp)
+	}
+}
+
+// Event forwards the event to every member that implements EventSink.
+func (m Multi) Event(e Event) {
+	for _, sink := range m {
+		if es, ok := sink.(EventSink); ok {
+			es.Event(e)
+		}
 	}
 }

@@ -44,22 +44,24 @@ func TestJSONLRoundTrip(t *testing.T) {
 	sp := Span{Name: "march", Class: "NE", Iteration: 1, Tiling: 2, Axis: "v", Start: 10, Measured: 5, Formula: 8}
 	j.Span(sp)
 	j.Step(StepSample{Step: 2, DeliveredTotal: 1, InFlight: 8})
+	ev := Event{Step: 2, Kind: "link-down", Node: 17, Dir: "East", Detail: "permanent"}
+	j.Event(ev)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if j.StepCount() != 2 || j.SpanCount() != 1 {
-		t.Fatalf("counts = %d steps, %d spans", j.StepCount(), j.SpanCount())
+	if j.StepCount() != 2 || j.SpanCount() != 1 || j.EventCount() != 1 {
+		t.Fatalf("counts = %d steps, %d spans, %d events", j.StepCount(), j.SpanCount(), j.EventCount())
 	}
-	if got := strings.Count(buf.String(), "\n"); got != 3 {
-		t.Fatalf("want 3 lines, got %d:\n%s", got, buf.String())
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", got, buf.String())
 	}
 
-	steps, spans, err := ReadJSONL(&buf)
+	steps, spans, events, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(steps) != 2 || len(spans) != 1 {
-		t.Fatalf("read %d steps, %d spans", len(steps), len(spans))
+	if len(steps) != 2 || len(spans) != 1 || len(events) != 1 {
+		t.Fatalf("read %d steps, %d spans, %d events", len(steps), len(spans), len(events))
 	}
 	if steps[0] != s1 {
 		t.Errorf("step round trip: got %+v, want %+v", steps[0], s1)
@@ -67,10 +69,13 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if spans[0] != sp {
 		t.Errorf("span round trip: got %+v, want %+v", spans[0], sp)
 	}
+	if events[0] != ev {
+		t.Errorf("event round trip: got %+v, want %+v", events[0], ev)
+	}
 }
 
 func TestReadJSONLUnknownType(t *testing.T) {
-	if _, _, err := ReadJSONL(strings.NewReader(`{"t":"bogus"}`)); err == nil {
+	if _, _, _, err := ReadJSONL(strings.NewReader(`{"t":"bogus"}`)); err == nil {
 		t.Fatal("want error for unknown line type")
 	}
 }
@@ -105,7 +110,11 @@ func TestMultiFansOut(t *testing.T) {
 	mu := Multi{a, b}
 	mu.Step(StepSample{Step: 1})
 	mu.Span(Span{Name: "march"})
+	mu.Event(Event{Step: 1, Kind: "node-stall", Node: 4})
 	if len(a.Steps) != 1 || len(b.Steps) != 1 || len(a.Spans) != 1 || len(b.Spans) != 1 {
 		t.Fatal("Multi did not fan out to all sinks")
+	}
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("Multi did not fan events out to all sinks")
 	}
 }

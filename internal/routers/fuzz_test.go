@@ -52,7 +52,7 @@ func FuzzRouteRandomPermutation(f *testing.F) {
 			}
 			cfg = sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
 		}
-		net := sim.New(cfg)
+		net := sim.MustNew(cfg)
 		if err := perm.Place(net); err != nil {
 			t.Fatal(err)
 		}

@@ -20,10 +20,20 @@ import (
 type RandZigZag struct {
 	// Seed selects the random stream.
 	Seed uint64
+	// FaultAware excludes currently-failed outlinks from the profitable
+	// set before the random draw, so packets detour around link failures
+	// while a profitable outlink survives. False (the default) reproduces
+	// the fault-oblivious router bit for bit.
+	FaultAware bool
 }
 
 // Name implements sim.Algorithm.
-func (r RandZigZag) Name() string { return "rand-zigzag" }
+func (r RandZigZag) Name() string {
+	if r.FaultAware {
+		return "rand-zigzag-fa"
+	}
+	return "rand-zigzag"
+}
 
 // InitNode implements sim.Algorithm.
 func (r RandZigZag) InitNode(net *sim.Network, n *sim.Node) {}
@@ -44,6 +54,9 @@ func splitmix64(x uint64) uint64 {
 // random profitable direction.
 func (r RandZigZag) pick(net *sim.Network, at grid.NodeID, p *sim.Packet) grid.Dir {
 	prof := net.Topo.Profitable(at, p.Dst)
+	if r.FaultAware {
+		prof &^= net.DownOutlinks(at)
+	}
 	dirs := prof.Dirs()
 	switch len(dirs) {
 	case 0:

@@ -12,7 +12,7 @@ func TestRandZigZagRoutesPermutations(t *testing.T) {
 	for _, n := range []int{8, 16} {
 		for seed := uint64(0); seed < 3; seed++ {
 			perm := workload.Random(grid.NewSquareMesh(n), int64(seed))
-			net := sim.New(centralConfig(n, 4))
+			net := sim.MustNew(centralConfig(n, 4))
 			if err := perm.Place(net); err != nil {
 				t.Fatal(err)
 			}
@@ -32,7 +32,7 @@ func TestRandZigZagReproducible(t *testing.T) {
 	run := func(seed uint64) int {
 		n := 12
 		perm := workload.Random(grid.NewSquareMesh(n), 7)
-		net := sim.New(centralConfig(n, 4))
+		net := sim.MustNew(centralConfig(n, 4))
 		if err := perm.Place(net); err != nil {
 			t.Fatal(err)
 		}

@@ -19,7 +19,7 @@ func TestRectangularMesh(t *testing.T) {
 		dex.NewAdapter(ZigZag{}),
 		DimOrderFF{},
 	} {
-		net := sim.New(cfg)
+		net := sim.MustNew(cfg)
 		if err := perm.Place(net); err != nil {
 			t.Fatal(err)
 		}
@@ -27,7 +27,7 @@ func TestRectangularMesh(t *testing.T) {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
 	}
-	net := sim.New(Thm15Config(topo, 2))
+	net := sim.MustNew(Thm15Config(topo, 2))
 	if err := perm.Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRectangularMesh(t *testing.T) {
 func TestThm15Torus(t *testing.T) {
 	topo := grid.NewSquareTorus(9)
 	perm := workload.Random(topo, 13)
-	net := sim.New(Thm15Config(topo, 1))
+	net := sim.MustNew(Thm15Config(topo, 1))
 	if err := perm.Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestThm15Torus(t *testing.T) {
 func TestHotPotatoTorus(t *testing.T) {
 	topo := grid.NewSquareTorus(8)
 	perm := workload.Random(topo, 3)
-	net := sim.New(sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, CheckInvariants: true})
+	net := sim.MustNew(sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, CheckInvariants: true})
 	if err := perm.Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestZigZagStateEncoding(t *testing.T) {
 
 // A packet with a single profitable direction never zigzags away from it.
 func TestZigZagSingleProfitableStable(t *testing.T) {
-	net := sim.New(sim.Config{Topo: grid.NewSquareMesh(8), K: 2, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := sim.MustNew(sim.Config{Topo: grid.NewSquareMesh(8), K: 2, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	topo := net.Topo
 	p := net.NewPacket(topo.ID(grid.XY(0, 3)), topo.ID(grid.XY(6, 3))) // due east
 	net.MustPlace(p)
@@ -104,7 +104,7 @@ func TestZigZagSingleProfitableStable(t *testing.T) {
 // and the stream cannot permanently starve the turner either once it dries.
 func TestThm15TurnerEventuallyTurns(t *testing.T) {
 	n := 8
-	net := sim.New(Thm15Config(grid.NewSquareMesh(n), 1))
+	net := sim.MustNew(Thm15Config(grid.NewSquareMesh(n), 1))
 	topo := net.Topo
 	// Stream of 4 straight packets climbing column 4.
 	for y := 0; y < 4; y++ {
@@ -129,7 +129,7 @@ func TestThm15TurnerEventuallyTurns(t *testing.T) {
 func TestSwapRuleBreaksHeadOnDeadlock(t *testing.T) {
 	n := 8
 	cfg := sim.Config{Topo: grid.NewSquareMesh(n), K: 1, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
-	net := sim.New(cfg)
+	net := sim.MustNew(cfg)
 	topo := net.Topo
 	// k=1: node (3,0) holds an east-mover, (4,0) a west-mover.
 	e := net.NewPacket(topo.ID(grid.XY(3, 0)), topo.ID(grid.XY(6, 0)))

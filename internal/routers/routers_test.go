@@ -22,7 +22,7 @@ func centralConfig(n, k int) sim.Config {
 // runPerm routes a permutation to completion and returns the makespan.
 func runPerm(t *testing.T, cfg sim.Config, alg sim.Algorithm, p *workload.Permutation, maxSteps int) *sim.Network {
 	t.Helper()
-	net := sim.New(cfg)
+	net := sim.MustNew(cfg)
 	if err := p.Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDimOrderFIFOFollowsXYOrder(t *testing.T) {
 	// A single packet must move all the way east before turning north.
 	n := 8
 	cfg := centralConfig(n, 2)
-	net := sim.New(cfg)
+	net := sim.MustNew(cfg)
 	topo := net.Topo
 	p := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(5, 5)))
 	net.MustPlace(p)
@@ -126,7 +126,7 @@ func TestZigZagAlternatesWhenBlocked(t *testing.T) {
 	// (0,0) keeps moving: when East is congested it goes North instead.
 	n := 6
 	cfg := centralConfig(n, 1) // k=1 makes blocking easy
-	net := sim.New(cfg)
+	net := sim.MustNew(cfg)
 	topo := net.Topo
 	// Blocker parked at (1,0): destination (1,5), so it leaves northward,
 	// but first step it occupies the queue.
@@ -201,7 +201,7 @@ func TestThm15StraightPriority(t *testing.T) {
 	// A stream of straight vertical packets must not be blocked by a
 	// turning packet.
 	n := 6
-	net := sim.New(Thm15Config(grid.NewSquareMesh(n), 1))
+	net := sim.MustNew(Thm15Config(grid.NewSquareMesh(n), 1))
 	topo := net.Topo
 	// Straight packet: travelling north through (2,2).
 	straightP := net.NewPacket(topo.ID(grid.XY(2, 0)), topo.ID(grid.XY(2, 5)))
@@ -232,7 +232,7 @@ func TestDimOrderFFRoutesPermutations(t *testing.T) {
 
 func TestDimOrderFFPrefersFarthest(t *testing.T) {
 	n := 8
-	net := sim.New(centralConfig(n, 2))
+	net := sim.MustNew(centralConfig(n, 2))
 	topo := net.Topo
 	near := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(2, 0)))
 	far := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(7, 1)))
@@ -256,7 +256,7 @@ func TestDimOrderFFPrefersFarthest(t *testing.T) {
 func TestHotPotatoDeliversPermutations(t *testing.T) {
 	for _, n := range []int{4, 8} {
 		perm := workload.Random(grid.NewSquareMesh(n), int64(n))
-		net := sim.New(HotPotatoConfig(grid.NewSquareMesh(n)))
+		net := sim.MustNew(HotPotatoConfig(grid.NewSquareMesh(n)))
 		if err := perm.Place(net); err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +272,7 @@ func TestHotPotatoDeliversPermutations(t *testing.T) {
 func TestHotPotatoTakesNonminimalPathsUnderContention(t *testing.T) {
 	n := 8
 	perm := workload.Reversal(grid.NewSquareMesh(n))
-	net := sim.New(HotPotatoConfig(grid.NewSquareMesh(n)))
+	net := sim.MustNew(HotPotatoConfig(grid.NewSquareMesh(n)))
 	if err := perm.Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestDimOrderWantTable(t *testing.T) {
 
 func TestRoutersAreDeterministic(t *testing.T) {
 	run := func(mk func() sim.Algorithm, cfg sim.Config) int {
-		net := sim.New(cfg)
+		net := sim.MustNew(cfg)
 		perm := workload.Random(cfg.Topo, 99)
 		if err := perm.Place(net); err != nil {
 			t.Fatal(err)

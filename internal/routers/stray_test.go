@@ -38,7 +38,7 @@ func TestStrayRoutesRandomPermutations(t *testing.T) {
 	for _, n := range []int{8, 16} {
 		for _, delta := range []int{1, 2} {
 			perm := workload.Random(grid.NewSquareMesh(n), int64(n+delta))
-			net := sim.New(strayConfig(n, 3, delta))
+			net := sim.MustNew(strayConfig(n, 3, delta))
 			if err := perm.Place(net); err != nil {
 				t.Fatal(err)
 			}
@@ -55,7 +55,7 @@ func TestStrayRoutesRandomPermutations(t *testing.T) {
 // the validator stays silent.
 func TestStrayActuallyStrays(t *testing.T) {
 	n, delta := 10, 2
-	net := sim.New(strayConfig(n, 1, delta))
+	net := sim.MustNew(strayConfig(n, 1, delta))
 	topo := net.Topo
 	// A column of northbound packets blocks the turner's destination
 	// column at its turning point.
@@ -89,7 +89,7 @@ func TestStrayActuallyStrays(t *testing.T) {
 func TestStrayZeroBudgetNeverStrays(t *testing.T) {
 	n := 12
 	perm := workload.Random(grid.NewSquareMesh(n), 3)
-	net := sim.New(sim.Config{
+	net := sim.MustNew(sim.Config{
 		Topo: grid.NewSquareMesh(n), K: 3, Queues: sim.CentralQueue,
 		RequireMinimal: true, CheckInvariants: true, // minimality enforced
 	})
@@ -109,7 +109,7 @@ func TestStrayZeroBudgetNeverStrays(t *testing.T) {
 // Engine-level MaxStray rejection: a router exceeding the budget is caught.
 func TestMaxStrayValidatorRejects(t *testing.T) {
 	n := 8
-	net := sim.New(strayConfig(n, 2, 1))
+	net := sim.MustNew(strayConfig(n, 2, 1))
 	topo := net.Topo
 	// Westbound packet: every east move exceeds the rectangle, so the
 	// second one exceeds MaxStray=1.

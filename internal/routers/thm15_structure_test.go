@@ -18,7 +18,7 @@ func TestThm15VerticalQueuesAlwaysEject(t *testing.T) {
 	for _, wl := range []string{"reversal", "transpose"} {
 		n := 16
 		topo := grid.NewSquareMesh(n)
-		net := sim.New(Thm15Config(topo, 1))
+		net := sim.MustNew(Thm15Config(topo, 1))
 		var perm *workload.Permutation
 		if wl == "reversal" {
 			perm = workload.Reversal(topo)
@@ -78,7 +78,7 @@ func TestThm15VerticalQueuesAlwaysEject(t *testing.T) {
 func TestThm15TurningQueueDrainsWithinN(t *testing.T) {
 	n, k := 16, 2
 	topo := grid.NewSquareMesh(n)
-	net := sim.New(Thm15Config(topo, k))
+	net := sim.MustNew(Thm15Config(topo, k))
 	if err := workload.Transpose(topo).Place(net); err != nil {
 		t.Fatal(err)
 	}

@@ -16,10 +16,31 @@ import (
 // inqueue policy is round-robin over a central queue, as in DimOrderFIFO.
 // Being adaptive does not save it: Theorem 14 applies, and the constructed
 // permutation forces Ω(n²/k²) steps.
-type ZigZag struct{}
+type ZigZag struct {
+	// FaultAware makes the router treat a failed profitable outlink like
+	// a congestion block: the packet detours to its other profitable
+	// direction while one survives. With FaultAware false (the default)
+	// the router ignores link status entirely and behaves bit-identically
+	// to the original Section 2 policy.
+	FaultAware bool
+}
 
 // Name implements dex.Policy.
-func (ZigZag) Name() string { return "zigzag-adaptive" }
+func (r ZigZag) Name() string {
+	if r.FaultAware {
+		return "zigzag-adaptive-fa"
+	}
+	return "zigzag-adaptive"
+}
+
+// avail is the outlink mask the router routes over: every direction when
+// fault-oblivious, only up links when fault-aware.
+func (r ZigZag) avail(c *dex.NodeCtx) grid.DirSet {
+	if r.FaultAware {
+		return c.Up
+	}
+	return grid.AllDirs
+}
 
 // Packet state encoding: low 3 bits hold the preferred direction
 // (grid.NoDir when unset).
@@ -32,13 +53,15 @@ func zzSetPref(state uint64, d grid.Dir) uint64 {
 }
 
 // zzWant returns the direction the packet wants this step: its preferred
-// direction if still profitable, otherwise the first profitable one.
-func zzWant(v dex.View) grid.Dir {
-	if p := zzPref(v.State); p < grid.NumDirs && v.Profitable.Has(p) {
+// direction if still profitable (and not masked out by avail), otherwise
+// the first remaining profitable one.
+func zzWant(v dex.View, avail grid.DirSet) grid.Dir {
+	prof := v.Profitable & avail
+	if p := zzPref(v.State); p < grid.NumDirs && prof.Has(p) {
 		return p
 	}
 	for d := grid.Dir(0); d < grid.NumDirs; d++ {
-		if v.Profitable.Has(d) {
+		if prof.Has(d) {
 			return d
 		}
 	}
@@ -47,17 +70,19 @@ func zzWant(v dex.View) grid.Dir {
 
 // InitNode seeds each origin packet's preference with its first profitable
 // direction.
-func (ZigZag) InitNode(c *dex.NodeCtx) {
+func (r ZigZag) InitNode(c *dex.NodeCtx) {
+	avail := r.avail(c)
 	for i := range c.Views {
-		c.SetPacketState(i, zzSetPref(c.Views[i].State, zzWant(c.Views[i])))
+		c.SetPacketState(i, zzSetPref(c.Views[i].State, zzWant(c.Views[i], avail)))
 	}
 }
 
 // Schedule sends, on each outlink, the earliest-queued packet that wants it.
-func (ZigZag) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
+func (r ZigZag) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
+	avail := r.avail(c)
 	for i := range c.Views {
-		want := zzWant(c.Views[i])
+		want := zzWant(c.Views[i], avail)
 		if want != grid.NoDir && sched[want] < 0 {
 			sched[want] = i
 		}
@@ -72,31 +97,35 @@ func (r ZigZag) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
 
 // Update flips the preference of every packet that failed to move this step
 // (the "blocked by congestion" alternation) and records the preference of
-// packets that just arrived.
-func (ZigZag) Update(c *dex.NodeCtx) {
+// packets that just arrived. Fault-aware, a down profitable outlink is
+// excluded throughout, so a block on a failed link alternates the packet
+// exactly like a congestion block.
+func (r ZigZag) Update(c *dex.NodeCtx) {
 	rotate(c)
+	avail := r.avail(c)
 	for i := range c.Views {
 		v := c.Views[i]
+		prof := v.Profitable & avail
 		moved := v.ArrivedStep == c.Step && v.Arrived != grid.NoDir
 		pref := zzPref(v.State)
 		if moved {
 			// Keep going the way it was going if still profitable.
-			if !v.Profitable.Has(pref) {
-				c.SetPacketState(i, zzSetPref(v.State, zzWant(v)))
+			if !prof.Has(pref) {
+				c.SetPacketState(i, zzSetPref(v.State, zzWant(v, avail)))
 			}
 			continue
 		}
 		// Blocked: alternate to the other profitable direction if the
 		// packet has two.
-		if v.Profitable.Count() == 2 {
+		if prof.Count() == 2 {
 			for d := grid.Dir(0); d < grid.NumDirs; d++ {
-				if v.Profitable.Has(d) && d != pref {
+				if prof.Has(d) && d != pref {
 					c.SetPacketState(i, zzSetPref(v.State, d))
 					break
 				}
 			}
-		} else if !v.Profitable.Has(pref) {
-			c.SetPacketState(i, zzSetPref(v.State, zzWant(v)))
+		} else if !prof.Has(pref) {
+			c.SetPacketState(i, zzSetPref(v.State, zzWant(v, avail)))
 		}
 	}
 }

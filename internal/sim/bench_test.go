@@ -12,7 +12,7 @@ import (
 func BenchmarkStepDense(b *testing.B) {
 	const n = 64
 	mk := func() *Network {
-		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
 		for y := 0; y < n; y++ {
 			for x := 0; x < n; x++ {
 				net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(n-1-x, n-1-y))))
@@ -40,7 +40,7 @@ func BenchmarkStepDense(b *testing.B) {
 func BenchmarkStepSparse(b *testing.B) {
 	const n = 512
 	mk := func() *Network {
-		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
 		for i := 0; i < 64; i++ {
 			net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(i, 0)), net.Topo.ID(grid.XY(i, n-1))))
 		}
@@ -77,7 +77,7 @@ func BenchmarkStepDenseMemSink(b *testing.B) {
 func benchStepDense(b *testing.B, sink obs.Sink) {
 	const n = 64
 	mk := func() *Network {
-		net := New(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
+		net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 4, Queues: CentralQueue, RequireMinimal: true})
 		for y := 0; y < n; y++ {
 			for x := 0; x < n; x++ {
 				net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(n-1-x, n-1-y))))
@@ -105,7 +105,7 @@ func benchStepDense(b *testing.B, sink obs.Sink) {
 func BenchmarkPlace(b *testing.B) {
 	const n = 64
 	for i := 0; i < b.N; i++ {
-		net := New(Config{Topo: grid.NewSquareMesh(n), K: 1, Queues: CentralQueue})
+		net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 1, Queues: CentralQueue})
 		for id := grid.NodeID(0); int(id) < n*n; id++ {
 			net.MustPlace(net.NewPacket(id, id)) // fixed points: no routing
 		}

@@ -12,7 +12,7 @@ import (
 // delivery curve's final value, and the peak single-queue occupancy.
 func ExampleNetwork_SetMetricsSink() {
 	const n = 4
-	net := New(Config{Topo: grid.NewSquareMesh(n), K: 2, Queues: CentralQueue, RequireMinimal: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 2, Queues: CentralQueue, RequireMinimal: true})
 	for x := 0; x < n; x++ {
 		net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, 0)), net.Topo.ID(grid.XY(n-1-x, n-1))))
 	}

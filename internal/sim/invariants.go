@@ -1,0 +1,60 @@
+package sim
+
+import "fmt"
+
+// checkStepInvariants runs the end-of-step invariant checker, enabled by
+// Config.CheckInvariants:
+//
+//   - queue capacity: every queue's occupancy is within capOf(tag) under
+//     either queue model (the origin buffer is unbounded per-inlink);
+//   - count consistency: each node's per-tag counters sum to its resident
+//     packet count, and each resident packet's At/QTag match the node;
+//   - packet conservation: delivered + resident + backlogged + pending
+//     equals the number of packets ever placed or queued — packets are
+//     never duplicated or lost by a step.
+//
+// Minimality of moves is the fourth engine invariant; it is enforced
+// inline at scheduling time by Config.RequireMinimal / Config.MaxStray
+// (see StepOnce), where the offending move is still known.
+//
+// The checker allocates nothing and runs in O(occupied nodes); when the
+// flag is off the engine pays a single branch per step.
+func (net *Network) checkStepInvariants(alg Algorithm) error {
+	resident := 0
+	for _, id := range net.occ {
+		node := &net.nodes[id]
+		sum := 0
+		for tag := uint8(0); tag < numTags; tag++ {
+			c := int(node.counts[tag])
+			if c < 0 {
+				return fmt.Errorf("sim: invariant: node %v queue %d has negative count %d after %s step %d",
+					net.Topo.CoordOf(id), tag, c, alg.Name(), net.step)
+			}
+			if c > net.capOf(tag) {
+				return fmt.Errorf("sim: invariant: %s overflowed queue %d of node %v (%d > %d) at step %d",
+					alg.Name(), tag, net.Topo.CoordOf(id), c, net.capOf(tag), net.step)
+			}
+			sum += c
+		}
+		if sum != len(node.Packets) {
+			return fmt.Errorf("sim: invariant: node %v queue counters sum to %d but holds %d packets (step %d)",
+				net.Topo.CoordOf(id), sum, len(node.Packets), net.step)
+		}
+		for _, p := range node.Packets {
+			if p.At != id {
+				return fmt.Errorf("sim: invariant: packet %d resident at node %v but At=%v (step %d)",
+					p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(p.At), net.step)
+			}
+			if p.Delivered() {
+				return fmt.Errorf("sim: invariant: delivered packet %d still resident at %v (step %d)",
+					p.ID, net.Topo.CoordOf(id), net.step)
+			}
+		}
+		resident += len(node.Packets)
+	}
+	if got := net.delivered + resident + net.backlogTotal + net.pendingTotal; got != net.total {
+		return fmt.Errorf("sim: invariant: packet conservation violated at step %d: %d delivered + %d resident + %d backlogged + %d pending = %d, want %d",
+			net.step, net.delivered, resident, net.backlogTotal, net.pendingTotal, got, net.total)
+	}
+	return nil
+}

@@ -24,6 +24,9 @@ type Metrics struct {
 	// MaxNodeLoad is the maximum end-of-step number of packets in any
 	// node, including the origin buffer.
 	MaxNodeLoad int
+	// FaultDrops counts scheduled moves the engine dropped because the
+	// link was down or the target node stalled (0 without faults).
+	FaultDrops int
 
 	recordHistory bool
 }

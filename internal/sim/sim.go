@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"meshroute/internal/fault"
 	"meshroute/internal/grid"
 	"meshroute/internal/obs"
 )
@@ -189,8 +190,22 @@ type Config struct {
 	// each direction. 0 means unrestricted (when RequireMinimal is
 	// false). Mesh only.
 	MaxStray int
-	// CheckInvariants enables per-step capacity and sanity checks.
+	// CheckInvariants enables the per-step runtime invariant checker:
+	// queue capacity under either queue model, per-node count
+	// consistency, and packet conservation (see checkStepInvariants).
+	// When false the engine pays one branch per step and zero
+	// allocations for it.
 	CheckInvariants bool
+	// Faults is an optional deterministic fault schedule (link failures,
+	// node stalls) applied at the start of each step; nil disables fault
+	// injection entirely. See internal/fault and docs/ROBUSTNESS.md.
+	Faults *fault.Schedule
+	// Watchdog, when > 0, is the livelock watchdog's no-progress window
+	// in steps: if Run/RunPartial executes this many consecutive steps
+	// without a single delivery, the run aborts with a *LivelockError
+	// carrying structured diagnostics instead of burning the remaining
+	// step budget. 0 disables the watchdog.
+	Watchdog int
 }
 
 // Network is a mesh with packets in flight. Create with New, populate with
@@ -218,6 +233,20 @@ type Network struct {
 	exchange   ExchangeFn
 	observer   ObserverFn
 	sink       obs.Sink
+	eventSink  obs.EventSink // sink, if it also records fault events
+
+	// Conservation counters for the invariant checker.
+	pendingTotal int // packets queued for injection, not yet backlogged
+	backlogTotal int // packets in per-source backlogs, not yet in a queue
+
+	// Fault-injection state (allocated only when cfg.Faults is set).
+	hasFaults   bool
+	faultCursor int                   // next unapplied schedule event
+	linkDownCnt [][grid.NumDirs]int16 // per node: open transient downs per outlink
+	linkPerm    []grid.DirSet         // per node: permanently failed outlinks
+	stalledCnt  []int16               // per node: open stall episodes
+
+	lastProgress int // last step with a delivery (watchdog progress mark)
 
 	// Metrics accumulates run statistics.
 	Metrics Metrics
@@ -234,13 +263,30 @@ type stepScratch struct {
 	touched  []grid.NodeID
 }
 
-// New creates an empty network.
-func New(cfg Config) *Network {
+// New creates an empty network, validating the configuration: the
+// topology must be non-nil, K >= 1, the queue model known, MaxStray and
+// Watchdog non-negative, and any fault schedule consistent with the
+// topology.
+func New(cfg Config) (*Network, error) {
 	if cfg.Topo == nil {
-		panic("sim: nil topology")
+		return nil, errors.New("sim: nil topology")
 	}
 	if cfg.K < 1 {
-		panic(fmt.Sprintf("sim: queue capacity K=%d, need K >= 1", cfg.K))
+		return nil, fmt.Errorf("sim: queue capacity K=%d, need K >= 1", cfg.K)
+	}
+	if cfg.Queues != CentralQueue && cfg.Queues != PerInlinkQueues {
+		return nil, fmt.Errorf("sim: unknown queue model %d", cfg.Queues)
+	}
+	if cfg.MaxStray < 0 {
+		return nil, fmt.Errorf("sim: negative MaxStray %d", cfg.MaxStray)
+	}
+	if cfg.Watchdog < 0 {
+		return nil, fmt.Errorf("sim: negative watchdog window %d", cfg.Watchdog)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Topo); err != nil {
+			return nil, err
+		}
 	}
 	n := cfg.Topo.N()
 	net := &Network{
@@ -257,6 +303,22 @@ func New(cfg Config) *Network {
 		net.nodes[i].ID = grid.NodeID(i)
 	}
 	net.scratch.byTarget = make(map[grid.NodeID][]Offer)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		net.hasFaults = true
+		net.linkDownCnt = make([][grid.NumDirs]int16, n)
+		net.linkPerm = make([]grid.DirSet, n)
+		net.stalledCnt = make([]int16, n)
+	}
+	return net, nil
+}
+
+// MustNew is New but panics on a bad configuration, for tests, benchmarks
+// and generators that construct known-valid networks.
+func MustNew(cfg Config) *Network {
+	net, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return net
 }
 
@@ -309,10 +371,51 @@ func (net *Network) SetObserver(fn ObserverFn) { net.observer = fn }
 // step loop then pays one branch and allocates nothing extra. Pass an
 // untyped nil to disable — a nil *obs.JSONL stored in the interface is
 // not nil and will be called.
-func (net *Network) SetMetricsSink(s obs.Sink) { net.sink = s }
+func (net *Network) SetMetricsSink(s obs.Sink) {
+	net.sink = s
+	net.eventSink, _ = s.(obs.EventSink)
+}
 
 // MetricsSink returns the installed metrics sink, or nil.
 func (net *Network) MetricsSink() obs.Sink { return net.sink }
+
+// LinkUp reports whether the directed channel (id, d) is currently up.
+// Without a fault schedule every link is always up.
+func (net *Network) LinkUp(id grid.NodeID, d grid.Dir) bool {
+	if !net.hasFaults {
+		return true
+	}
+	return !net.linkPerm[id].Has(d) && net.linkDownCnt[id][d] == 0
+}
+
+// DownOutlinks returns the set of currently-failed outlink directions of
+// the node (empty without faults). The complement against the node's
+// existing outlinks is the set a fault-aware router may use.
+func (net *Network) DownOutlinks(id grid.NodeID) grid.DirSet {
+	if !net.hasFaults {
+		return 0
+	}
+	s := net.linkPerm[id]
+	for d := grid.Dir(0); d < grid.NumDirs; d++ {
+		if net.linkDownCnt[id][d] > 0 {
+			s = s.Set(d)
+		}
+	}
+	return s
+}
+
+// Stalled reports whether the node is currently stalled by a fault.
+func (net *Network) Stalled(id grid.NodeID) bool {
+	return net.hasFaults && net.stalledCnt[id] > 0
+}
+
+// emitEvent forwards a fault/watchdog event to the metrics sink, if the
+// sink records events.
+func (net *Network) emitEvent(e obs.Event) {
+	if net.eventSink != nil {
+		net.eventSink.Event(e)
+	}
+}
 
 // NewPacket allocates a packet with the next free ID, routed from src to
 // dst. The packet is not placed; use Place or QueueInjection.
@@ -376,6 +479,7 @@ func (net *Network) QueueInjection(p *Packet, step int) {
 	p.At = p.Src
 	net.packets = append(net.packets, p)
 	net.total++
+	net.pendingTotal++
 	net.pendingInj[step] = append(net.pendingInj[step], p)
 }
 

@@ -87,20 +87,34 @@ func TestPlaceAfterRunRejected(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("K=0 must panic")
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nil topo", Config{K: 1}, "nil topology"},
+		{"K=0", Config{Topo: grid.NewSquareMesh(4), K: 0}, "queue capacity"},
+		{"bad queue model", Config{Topo: grid.NewSquareMesh(4), K: 1, Queues: QueueModel(9)}, "queue model"},
+		{"negative stray", Config{Topo: grid.NewSquareMesh(4), K: 1, MaxStray: -1}, "MaxStray"},
+		{"negative watchdog", Config{Topo: grid.NewSquareMesh(4), K: 1, Watchdog: -5}, "watchdog"},
+	}
+	for _, c := range cases {
+		net, err := New(c.cfg)
+		if err == nil || net != nil {
+			t.Fatalf("%s: want error, got net=%v err=%v", c.name, net, err)
 		}
-	}()
-	New(Config{Topo: grid.NewSquareMesh(4), K: 0})
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
 }
 
-func TestNewPanicsOnNilTopo(t *testing.T) {
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("nil topo must panic")
+			t.Fatal("MustNew with K=0 must panic")
 		}
 	}()
-	New(Config{K: 1})
+	MustNew(Config{Topo: grid.NewSquareMesh(4), K: 0})
 }

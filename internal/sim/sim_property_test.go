@@ -14,7 +14,7 @@ import (
 func TestQuickConservation(t *testing.T) {
 	f := func(seed int64) bool {
 		const n = 6
-		net := New(Config{
+		net := MustNew(Config{
 			Topo:            grid.NewSquareMesh(n),
 			K:               3,
 			Queues:          CentralQueue,
@@ -57,7 +57,7 @@ func TestQuickTorusSinglePacket(t *testing.T) {
 	f := func(sRaw, dRaw uint16) bool {
 		s := grid.NodeID(int(sRaw) % tr.N())
 		d := grid.NodeID(int(dRaw) % tr.N())
-		net := New(Config{Topo: tr, K: 2, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
+		net := MustNew(Config{Topo: tr, K: 2, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
 		p := net.NewPacket(s, d)
 		net.MustPlace(p)
 		steps, err := net.RunPartial(greedyXY{}, 100)
@@ -73,7 +73,7 @@ func TestQuickTorusSinglePacket(t *testing.T) {
 
 // At is maintained through the whole lifecycle.
 func TestPacketAtTracking(t *testing.T) {
-	net := New(Config{Topo: grid.NewSquareMesh(6), K: 2, Queues: CentralQueue, RequireMinimal: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(6), K: 2, Queues: CentralQueue, RequireMinimal: true})
 	topo := net.Topo
 	p := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(3, 0)))
 	net.MustPlace(p)
@@ -96,7 +96,7 @@ func TestPacketAtTracking(t *testing.T) {
 
 // Injection backlog drains in FIFO order regardless of destination.
 func TestInjectionFIFO(t *testing.T) {
-	net := New(Config{Topo: grid.NewSquareMesh(8), K: 1, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(8), K: 1, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	topo := net.Topo
 	src := topo.ID(grid.XY(0, 0))
 	var ps []*Packet
@@ -127,7 +127,7 @@ func (overflowAlg) Accept(net *Network, n *Node, offers []Offer) []bool {
 }
 
 func TestOverflowDetected(t *testing.T) {
-	net := New(Config{Topo: grid.NewSquareMesh(8), K: 1, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(8), K: 1, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	topo := net.Topo
 	// Three packets converge on (2,2)'s neighborhood; (2,2) itself holds
 	// a slow packet so accepted arrivals overflow k=1.
@@ -148,7 +148,7 @@ func TestOverflowDetected(t *testing.T) {
 // Multiple packets with the same destination (many-to-one traffic) are
 // legal in the engine even though they are not a permutation.
 func TestManyToOneTraffic(t *testing.T) {
-	net := New(Config{Topo: grid.NewSquareMesh(6), K: 4, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(6), K: 4, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	topo := net.Topo
 	dst := topo.ID(grid.XY(5, 5))
 	for i := 0; i < 5; i++ {

@@ -58,7 +58,7 @@ func (greedyXY) Accept(net *Network, n *Node, offers []Offer) []bool {
 
 func newTestNet(t *testing.T, n, k int) *Network {
 	t.Helper()
-	return New(Config{
+	return MustNew(Config{
 		Topo:            grid.NewSquareMesh(n),
 		K:               k,
 		Queues:          CentralQueue,
@@ -320,7 +320,7 @@ func TestMetricsBasics(t *testing.T) {
 }
 
 func TestPerInlinkQueueTags(t *testing.T) {
-	net := New(Config{
+	net := MustNew(Config{
 		Topo:            grid.NewSquareMesh(8),
 		K:               1,
 		Queues:          PerInlinkQueues,

@@ -10,7 +10,7 @@ import (
 // reversalNet builds an n×n central-queue mesh loaded with the reversal
 // permutation (every node holds one packet to the opposite corner).
 func reversalNet(n, k int) *Network {
-	net := New(Config{Topo: grid.NewSquareMesh(n), K: k, Queues: CentralQueue, RequireMinimal: true})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: k, Queues: CentralQueue, RequireMinimal: true})
 	for y := 0; y < n; y++ {
 		for x := 0; x < n; x++ {
 			net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(n-1-x, n-1-y))))
@@ -71,7 +71,7 @@ func TestMetricsSinkSamples(t *testing.T) {
 
 func TestMetricsSinkPerInlinkQueues(t *testing.T) {
 	const n = 8
-	net := New(Config{Topo: grid.NewSquareMesh(n), K: 2, Queues: PerInlinkQueues})
+	net := MustNew(Config{Topo: grid.NewSquareMesh(n), K: 2, Queues: PerInlinkQueues})
 	for x := 0; x < n; x++ {
 		net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, 0)), net.Topo.ID(grid.XY(x, n-1))))
 	}

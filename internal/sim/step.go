@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meshroute/internal/grid"
+	"meshroute/internal/obs"
 )
 
 // Run executes steps until every packet is delivered or maxSteps is
@@ -22,16 +23,29 @@ func (net *Network) RunPartial(alg Algorithm, maxSteps int) (int, error) {
 
 func (net *Network) run(alg Algorithm, maxSteps int, allowPartial bool) (int, error) {
 	start := net.step
+	if net.lastProgress < start {
+		net.lastProgress = start
+	}
 	for !net.Done() {
 		if net.step-start >= maxSteps {
 			if allowPartial {
 				return net.step - start, nil
 			}
-			return net.step - start, fmt.Errorf("sim: %s did not deliver all packets in %d steps (%d/%d delivered)",
-				alg.Name(), maxSteps, net.delivered, net.total)
+			return net.step - start, &StepLimitError{
+				Alg: alg.Name(), MaxSteps: maxSteps,
+				Delivered: net.delivered, Total: net.total,
+				Diag: net.CollectDiagnostics(),
+			}
 		}
 		if err := net.StepOnce(alg); err != nil {
 			return net.step - start, err
+		}
+		// Livelock watchdog: abort after a full window without a single
+		// delivery, with diagnostics, instead of burning the budget.
+		if w := net.cfg.Watchdog; w > 0 && net.step-net.lastProgress >= w && !net.Done() {
+			diag := net.CollectDiagnostics()
+			net.emitEvent(obs.Event{Step: net.step, Kind: "watchdog", Node: -1, Detail: diag.String()})
+			return net.step - start, &LivelockError{Alg: alg.Name(), Window: w, Diag: diag}
 		}
 	}
 	return net.step - start, nil
@@ -58,15 +72,41 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	t := net.step
 	deliveredBefore := net.delivered
 
+	if net.hasFaults {
+		net.applyFaults(t)
+	}
 	net.injectPending(t)
 	net.compactOcc()
 
-	// Part (a): outqueue policies schedule packets.
+	// Part (a): outqueue policies schedule packets. Stalled nodes are
+	// frozen: they schedule nothing (and below, accept nothing).
 	moves := net.scratch.moves[:0]
 	for _, id := range net.occ {
 		node := &net.nodes[id]
 		if len(node.Packets) == 0 {
 			continue
+		}
+		if net.hasFaults {
+			if net.stalledCnt[id] > 0 {
+				continue
+			}
+			// Unreachability: a minimal router can never deliver a packet
+			// whose every profitable outlink has permanently failed.
+			if net.cfg.RequireMinimal {
+				if pd := net.linkPerm[id]; pd != 0 {
+					for _, p := range node.Packets {
+						if prof := net.Topo.Profitable(id, p.Dst); prof != 0 && prof&^pd == 0 {
+							err := &UnreachableError{
+								PacketID: p.ID, At: id, Dst: p.Dst,
+								AtCoord: net.Topo.CoordOf(id), DstCoord: net.Topo.CoordOf(p.Dst),
+								Step: t,
+							}
+							net.emitEvent(obs.Event{Step: t, Kind: "unreachable", Node: int(id), Detail: err.Error()})
+							return err
+						}
+					}
+				}
+			}
 		}
 		sched := alg.Schedule(net, node)
 		var used [grid.NumDirs]int
@@ -103,6 +143,12 @@ func (net *Network) StepOnce(alg Algorithm) error {
 				return fmt.Errorf("sim: %s moved packet %d more than %d beyond its source-destination rectangle",
 					alg.Name(), p.ID, net.cfg.MaxStray)
 			}
+			// A legal move onto a failed link is silently dropped: the
+			// packet stays put and may retry (or detour) next step.
+			if net.hasFaults && !net.LinkUp(id, d) {
+				net.Metrics.FaultDrops++
+				continue
+			}
 			moves = append(moves, Move{P: p, From: id, To: nb, Travel: d})
 		}
 	}
@@ -130,6 +176,12 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	byTarget := net.scratch.byTarget
 	targets := net.scratch.targets[:0]
 	for _, m := range moves {
+		// A stalled node accepts nothing — not even deliveries. The
+		// scheduled packet stays at its sender and retries later.
+		if net.hasFaults && net.stalledCnt[m.To] > 0 {
+			net.Metrics.FaultDrops++
+			continue
+		}
 		if m.To == m.P.Dst {
 			arrivals = append(arrivals, arrival{p: m.P, to: m.To, dir: m.Travel})
 			continue
@@ -190,25 +242,26 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		net.attach(&net.nodes[a.to], p, tag)
 	}
 
-	// Capacity invariant: end-of-step queue occupancy within bounds.
+	// Runtime invariant checker: queue capacity, count consistency and
+	// packet conservation (CheckInvariants). Minimality was already
+	// enforced at scheduling time.
 	if net.cfg.CheckInvariants {
-		for _, a := range arrivals {
-			if a.to == a.p.Dst {
-				continue
-			}
-			node := &net.nodes[a.to]
-			for tag := uint8(0); tag < numTags; tag++ {
-				if int(node.counts[tag]) > net.capOf(tag) {
-					return fmt.Errorf("sim: %s overflowed queue %d of node %v (%d > %d)",
-						alg.Name(), tag, net.Topo.CoordOf(a.to), node.counts[tag], net.capOf(tag))
-				}
-			}
+		if err := net.checkStepInvariants(alg); err != nil {
+			return err
 		}
 	}
 
 	// Part (e): state updates on every node that held packets this step.
+	// Stalled nodes stay frozen: their state must not advance.
 	for _, id := range net.occ {
+		if net.hasFaults && net.stalledCnt[id] > 0 {
+			continue
+		}
 		alg.Update(net, &net.nodes[id])
+	}
+
+	if net.delivered > deliveredBefore {
+		net.lastProgress = t
 	}
 
 	net.Metrics.noteStep(net, t)
@@ -270,11 +323,17 @@ func (net *Network) injectPending(t int) {
 		for _, p := range ps {
 			net.backlog[p.Src] = append(net.backlog[p.Src], p)
 		}
+		net.pendingTotal -= len(ps)
+		net.backlogTotal += len(ps)
 		delete(net.pendingInj, t)
 	}
 	for id := range net.backlog {
 		bl := net.backlog[id]
 		if len(bl) == 0 {
+			continue
+		}
+		// A stalled node admits nothing; its backlog waits with it.
+		if net.hasFaults && net.stalledCnt[id] > 0 {
 			continue
 		}
 		node := &net.nodes[id]
@@ -287,6 +346,7 @@ func (net *Network) injectPending(t int) {
 				net.delivered++
 				net.Metrics.noteDelivered(p, t)
 				bl = bl[1:]
+				net.backlogTotal--
 				continue
 			}
 			var tag uint8
@@ -301,6 +361,7 @@ func (net *Network) injectPending(t int) {
 			p.InjectStep = t
 			net.attach(node, p, tag)
 			bl = bl[1:]
+			net.backlogTotal--
 		}
 		net.backlog[id] = bl
 	}

@@ -5,7 +5,9 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -69,6 +71,22 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// WriteCSV writes the table as RFC 4180 CSV (header row first), for
+// machine-readable experiment output.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // PowerFit fits y = a·x^b by least squares on log-log values and returns

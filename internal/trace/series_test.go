@@ -17,7 +17,7 @@ import (
 func TestSeriesMatchesLiveSink(t *testing.T) {
 	const n, k = 8, 2
 	topo := grid.NewSquareMesh(n)
-	net := sim.New(sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
+	net := sim.MustNew(sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	for y := 0; y < n; y++ {
 		for x := 0; x < n; x++ {
 			net.MustPlace(net.NewPacket(topo.ID(grid.XY(x, y)), topo.ID(grid.XY(n-1-x, n-1-y))))

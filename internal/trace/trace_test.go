@@ -15,7 +15,7 @@ import (
 func recordRun(t *testing.T, n int) ([]StepTrace, *sim.Network) {
 	t.Helper()
 	topo := grid.NewSquareMesh(n)
-	net := sim.New(routers.Thm15Config(topo, 2))
+	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	perm := workload.Random(topo, 9)
 	if err := perm.Place(net); err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestEmptyTrace(t *testing.T) {
 // the hottest links carry far more than the average.
 func TestTraceShowsCornerConcentration(t *testing.T) {
 	topo := grid.NewSquareMesh(8)
-	net := sim.New(routers.Thm15Config(topo, 1))
+	net := sim.MustNew(routers.Thm15Config(topo, 1))
 	// All packets from the 3×3 corner heading out.
 	idx := 0
 	for y := 0; y < 2; y++ {

@@ -55,7 +55,7 @@ func TestGridRendering(t *testing.T) {
 
 func TestOccupancyOfLiveNetwork(t *testing.T) {
 	topo := grid.NewSquareMesh(6)
-	net := sim.New(routers.Thm15Config(topo, 2))
+	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	if err := workload.Reversal(topo).Place(net); err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestOccupancyOfLiveNetwork(t *testing.T) {
 
 func TestLinkTrafficAndDeliveryCurve(t *testing.T) {
 	topo := grid.NewSquareMesh(8)
-	net := sim.New(routers.Thm15Config(topo, 2))
+	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	if err := workload.Random(topo, 4).Place(net); err != nil {
 		t.Fatal(err)
 	}

@@ -11,11 +11,11 @@ func TestHHPlaceRequiresCapacity(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
 	hh := RandomHH(topo, 2, 1)
 	// k=1 central queue cannot hold 2 origin packets per node.
-	small := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	small := sim.MustNew(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
 	if err := hh.Place(small); err == nil {
 		t.Fatal("placing 2-2 traffic into k=1 must fail")
 	}
-	big := sim.New(sim.Config{Topo: topo, K: 2, Queues: sim.CentralQueue})
+	big := sim.MustNew(sim.Config{Topo: topo, K: 2, Queues: sim.CentralQueue})
 	if err := hh.Place(big); err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestHHPlaceRequiresCapacity(t *testing.T) {
 
 func TestPlaceErrorPropagates(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
-	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	net := sim.MustNew(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
 	p := &Permutation{Pairs: []Pair{{Src: 0, Dst: 5}, {Src: 0, Dst: 6}}}
 	if err := p.Place(net); err == nil {
 		t.Fatal("double placement on k=1 must fail")

@@ -110,7 +110,7 @@ func TestHHValidate(t *testing.T) {
 
 func TestPlaceIntoNetwork(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
-	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	net := sim.MustNew(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
 	p := Random(topo, 3)
 	if err := p.Place(net); err != nil {
 		t.Fatal(err)
@@ -122,7 +122,7 @@ func TestPlaceIntoNetwork(t *testing.T) {
 
 func TestHHInjectQueues(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
-	net := sim.New(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
+	net := sim.MustNew(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
 	hh := RandomHH(topo, 2, 5)
 	hh.Inject(net)
 	if net.TotalPackets() != 32 {

@@ -30,6 +30,7 @@ import (
 	"meshroute/internal/adversary"
 	"meshroute/internal/clt"
 	"meshroute/internal/dex"
+	"meshroute/internal/fault"
 	"meshroute/internal/grid"
 	"meshroute/internal/routers"
 	"meshroute/internal/sim"
@@ -65,7 +66,30 @@ type (
 	AdversaryResult = adversary.Result
 	// CLTResult reports a Section 6 algorithm run.
 	CLTResult = clt.Result
+
+	// FaultSchedule is a deterministic schedule of injected faults.
+	FaultSchedule = fault.Schedule
+	// FaultConfig parameterizes random fault-schedule generation.
+	FaultConfig = fault.Config
+	// FaultEvent is one scheduled fault transition.
+	FaultEvent = fault.Event
+	// RunDiagnostics is the structured state snapshot attached to
+	// step-limit and livelock errors.
+	RunDiagnostics = sim.Diagnostics
+	// StepLimitError reports an exhausted step budget, with diagnostics.
+	StepLimitError = sim.StepLimitError
+	// LivelockError reports a watchdog abort after a no-progress window.
+	LivelockError = sim.LivelockError
+	// UnreachableError reports a destination cut off by permanent link
+	// failures under minimal routing.
+	UnreachableError = sim.UnreachableError
 )
+
+// GenerateFaults draws a random fault schedule for a topology; the same
+// seed always yields the same schedule.
+func GenerateFaults(topo Topology, cfg FaultConfig) (*FaultSchedule, error) {
+	return fault.Generate(topo, cfg)
+}
 
 // Directions.
 const (
@@ -84,8 +108,9 @@ func NewMesh(n int) Topology { return grid.NewSquareMesh(n) }
 // NewTorus returns the n×n torus.
 func NewTorus(n int) Topology { return grid.NewSquareTorus(n) }
 
-// NewNetwork builds a network; see NetworkConfig for the queue models.
-func NewNetwork(cfg NetworkConfig) *Network { return sim.New(cfg) }
+// NewNetwork builds a network, validating the configuration; see
+// NetworkConfig for the queue models.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return sim.New(cfg) }
 
 // Workload generators.
 var (
@@ -122,35 +147,74 @@ type RouteStats struct {
 	MaxQueue int
 	// AvgDelay is the mean delivery delay.
 	AvgDelay float64
+	// FaultDrops counts moves dropped on failed links or into stalled
+	// nodes (0 without fault injection).
+	FaultDrops int
+}
+
+// RouteOptions extends Route with robustness controls.
+type RouteOptions struct {
+	// MaxSteps caps the run (0 means a generous default).
+	MaxSteps int
+	// Faults injects the schedule into the run (nil disables faults).
+	Faults *FaultSchedule
+	// FaultAware selects the router's fault-aware variant, which detours
+	// around failed links; only some routers have one (LookupRouter's
+	// spec reports it via NewFaultAware != nil).
+	FaultAware bool
+	// Watchdog aborts the run with a LivelockError after this many steps
+	// without a delivery (0 disables the watchdog).
+	Watchdog int
 }
 
 // Route runs a named router on a permutation over the given topology with
 // queue capacity k, until done or maxSteps (0 means a generous default).
 func Route(router string, topo Topology, k int, perm *Permutation, maxSteps int) (RouteStats, error) {
+	return RouteWithOptions(router, topo, k, perm, RouteOptions{MaxSteps: maxSteps})
+}
+
+// RouteWithOptions is Route with fault injection, fault-aware routing and
+// a livelock watchdog available.
+func RouteWithOptions(router string, topo Topology, k int, perm *Permutation, opts RouteOptions) (RouteStats, error) {
 	spec, err := LookupRouter(router)
 	if err != nil {
 		return RouteStats{}, err
 	}
-	net := sim.New(spec.Config(topo, k))
+	newAlg := spec.New
+	if opts.FaultAware {
+		if spec.NewFaultAware == nil {
+			return RouteStats{}, fmt.Errorf("meshroute: router %q has no fault-aware variant", router)
+		}
+		newAlg = spec.NewFaultAware
+	}
+	cfg := spec.Config(topo, k)
+	cfg.Faults = opts.Faults
+	cfg.Watchdog = opts.Watchdog
+	net, err := sim.New(cfg)
+	if err != nil {
+		return RouteStats{}, err
+	}
 	if err := perm.Place(net); err != nil {
 		return RouteStats{}, err
 	}
+	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		n := topo.Width()
 		maxSteps = 200 * (n*n/k + 2*n)
 	}
-	steps, err := net.RunPartial(spec.New(), maxSteps)
+	steps, err := net.RunPartial(newAlg(), maxSteps)
 	if err != nil {
 		return RouteStats{}, err
 	}
 	return RouteStats{
-		Makespan:  net.Metrics.Makespan,
-		Steps:     steps,
-		Done:      net.Done(),
-		Delivered: net.DeliveredCount(),
-		Total:     net.TotalPackets(),
-		MaxQueue:  net.Metrics.MaxQueueLen,
-		AvgDelay:  net.AvgDelay(),
+		Makespan:   net.Metrics.Makespan,
+		Steps:      steps,
+		Done:       net.Done(),
+		Delivered:  net.DeliveredCount(),
+		Total:      net.TotalPackets(),
+		MaxQueue:   net.Metrics.MaxQueueLen,
+		AvgDelay:   net.AvgDelay(),
+		FaultDrops: net.Metrics.FaultDrops,
 	}, nil
 }
 

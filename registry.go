@@ -56,6 +56,9 @@ type RouterSpec struct {
 	Queues sim.QueueModel
 	// New creates a fresh instance for one run.
 	New func() sim.Algorithm
+	// NewFaultAware creates the router's fault-aware variant (detours
+	// around failed links), or is nil if the router has none.
+	NewFaultAware func() sim.Algorithm
 	// Config builds the network configuration for a topology and k.
 	Config func(topo Topology, k int) sim.Config
 }
@@ -79,6 +82,7 @@ var registry = map[string]RouterSpec{
 		Minimal:                 true,
 		Queues:                  sim.CentralQueue,
 		New:                     func() sim.Algorithm { return dex.NewAdapter(routers.ZigZag{}) },
+		NewFaultAware:           func() sim.Algorithm { return dex.NewAdapter(routers.ZigZag{FaultAware: true}) },
 		Config: func(topo Topology, k int) sim.Config {
 			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
 		},
@@ -110,6 +114,7 @@ var registry = map[string]RouterSpec{
 		Minimal:                 true,
 		Queues:                  sim.CentralQueue,
 		New:                     func() sim.Algorithm { return routers.RandZigZag{Seed: 0} },
+		NewFaultAware:           func() sim.Algorithm { return routers.RandZigZag{Seed: 0, FaultAware: true} },
 		Config: func(topo Topology, k int) sim.Config {
 			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
 		},
