@@ -1,0 +1,242 @@
+package meshroute_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meshroute"
+	"meshroute/internal/fault"
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// The engine-equivalence golden digests: every registry router (including
+// the fault-aware variants under a seeded fault schedule, and two dynamic-
+// injection scenarios) runs on a fixed workload, and the resulting
+// per-packet (ID, DeliverStep, Hops) sequence is hashed. The digests are
+// pinned in testdata/engine_digests.json, generated on the pre-arena
+// engine, so any hot-path refactor that changes routing behavior — even by
+// one step on one packet — fails this test.
+//
+// Regenerate (only when a behavior change is intended and understood) with:
+//
+//	go test . -run TestEngineGoldenDigests -update-engine-digests
+var updateDigests = flag.Bool("update-engine-digests", false,
+	"rewrite testdata/engine_digests.json from the current engine")
+
+const digestFile = "testdata/engine_digests.json"
+
+// digestScenario is one pinned run: it builds the network and workload,
+// runs the algorithm for a fixed step budget, and the harness digests the
+// final packet states.
+type digestScenario struct {
+	name string
+	// run executes the scenario and returns the network for digesting.
+	// Scenarios must be deterministic and must not error.
+	run func(workers int) (*sim.Network, error)
+}
+
+// routeScenario runs a registry router on a workload with an optional fault
+// schedule, via RunPartial with a fixed budget (some cells intentionally do
+// not complete; the digest covers undelivered packets too).
+func routeScenario(router string, topo grid.Topology, k int, perm *workload.Permutation,
+	faultsCfg *fault.Config, faultAware bool, budget int) digestScenario {
+	name := fmt.Sprintf("%s-n%d-k%d", router, topo.Width(), k)
+	if faultAware {
+		name += "-fa"
+	}
+	if faultsCfg != nil {
+		name += "-faults"
+	}
+	return digestScenario{name: name, run: func(workers int) (*sim.Network, error) {
+		spec, err := meshroute.LookupRouter(router)
+		if err != nil {
+			return nil, err
+		}
+		cfg := spec.Config(topo, k)
+		if faultsCfg != nil {
+			sched, err := fault.Generate(topo, *faultsCfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = sched
+		}
+		applyWorkers(&cfg, workers)
+		net, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := perm.Place(net); err != nil {
+			return nil, err
+		}
+		newAlg := spec.New
+		if faultAware {
+			if spec.NewFaultAware == nil {
+				return nil, fmt.Errorf("router %q has no fault-aware variant", router)
+			}
+			newAlg = spec.NewFaultAware
+		}
+		if _, err := net.RunPartial(newAlg(), budget); err != nil {
+			return nil, err
+		}
+		return net, nil
+	}}
+}
+
+// dynamicScenario exercises the injection path: a deterministic arithmetic
+// injection pattern (no RNG) over a fixed horizon, so backlog draining and
+// FIFO entry order are part of the pinned behavior.
+func dynamicScenario(router string, n, k, horizon int) digestScenario {
+	return digestScenario{
+		name: fmt.Sprintf("dynamic-%s-n%d-k%d", router, n, k),
+		run: func(workers int) (*sim.Network, error) {
+			spec, err := meshroute.LookupRouter(router)
+			if err != nil {
+				return nil, err
+			}
+			topo := grid.NewSquareMesh(n)
+			cfg := spec.Config(topo, k)
+			applyWorkers(&cfg, workers)
+			net, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Bursty deterministic pattern: node id injects at steps
+			// congruent to id mod 7, toward a shifted destination.
+			for step := 1; step <= horizon/2; step++ {
+				for id := 0; id < n*n; id++ {
+					if (id+step)%7 == 0 {
+						dst := grid.NodeID((id*13 + step*29) % (n * n))
+						net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
+					}
+				}
+			}
+			alg := spec.New()
+			for step := 0; step < horizon; step++ {
+				if err := net.StepOnce(alg); err != nil {
+					return nil, err
+				}
+			}
+			return net, nil
+		},
+	}
+}
+
+// applyWorkers configures parallel scheduling on the run; workers <= 1
+// leaves the configuration serial.
+func applyWorkers(cfg *sim.Config, workers int) {
+	_ = cfg
+	_ = workers
+}
+
+func digestScenarios() []digestScenario {
+	mesh16 := grid.NewSquareMesh(16)
+	mesh12 := grid.NewSquareMesh(12)
+	transpose16 := workload.Transpose(mesh16)
+	random12 := workload.Random(mesh12, 3)
+	// Transient-only faults: permanent cuts under RequireMinimal can make
+	// destinations unreachable, which is a run error, not a digest.
+	transient := &fault.Config{Seed: 11, Horizon: 120, LinkFailures: 25, MeanDownSteps: 6, NodeStalls: 6, MeanStallSteps: 4}
+	return []digestScenario{
+		routeScenario(meshroute.RouterDimOrder, mesh16, 2, transpose16, nil, false, 4000),
+		routeScenario(meshroute.RouterZigZag, mesh16, 2, transpose16, nil, false, 4000),
+		routeScenario(meshroute.RouterThm15, mesh16, 2, workload.Reversal(mesh16), nil, false, 4000),
+		routeScenario(meshroute.RouterThm15, mesh12, 1, random12, nil, false, 4000),
+		routeScenario(meshroute.RouterFarthestFirst, mesh16, 2, transpose16, nil, false, 4000),
+		routeScenario(meshroute.RouterHotPotato, mesh12, 4, random12, nil, false, 4000),
+		routeScenario(meshroute.RouterRandZigZag, mesh16, 4, transpose16, nil, false, 1500),
+		routeScenario(meshroute.RouterStray, mesh16, 2, transpose16, nil, false, 4000),
+		routeScenario(meshroute.RouterZigZag, mesh12, 3, random12, transient, true, 2500),
+		routeScenario(meshroute.RouterRandZigZag, mesh12, 4, random12, transient, true, 1500),
+		dynamicScenario(meshroute.RouterDimOrder, 12, 2, 260),
+		dynamicScenario(meshroute.RouterThm15, 12, 1, 260),
+	}
+}
+
+// digestNet hashes the per-packet outcome of a finished run: for every
+// packet in ID order, (ID, InjectStep, DeliverStep, Hops). FNV-1a keeps the
+// digest stable across platforms.
+func digestNet(net *sim.Network) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, p := range net.Packets() {
+		w(int64(p.ID))
+		w(int64(p.InjectStep))
+		w(int64(p.DeliverStep))
+		w(int64(p.Hops))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func loadDigests(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatalf("read pinned digests (regenerate with -update-engine-digests): %v", err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("parse %s: %v", digestFile, err)
+	}
+	return m
+}
+
+// TestEngineGoldenDigests asserts that every scenario reproduces its pinned
+// pre-refactor digest bit for bit.
+func TestEngineGoldenDigests(t *testing.T) {
+	scenarios := digestScenarios()
+	if *updateDigests {
+		out := make(map[string]string, len(scenarios))
+		for _, s := range scenarios {
+			net, err := s.run(0)
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+			out[s.name] = digestNet(net)
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(digestFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(digestFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(out), digestFile)
+		return
+	}
+	pinned := loadDigests(t)
+	if len(pinned) != len(scenarios) {
+		t.Fatalf("pinned %d digests, have %d scenarios", len(pinned), len(scenarios))
+	}
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			want, ok := pinned[s.name]
+			if !ok {
+				t.Fatalf("no pinned digest for %s (regenerate with -update-engine-digests)", s.name)
+			}
+			net, err := s.run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestNet(net); got != want {
+				t.Fatalf("digest %s != pinned %s: engine behavior changed", got, want)
+			}
+		})
+	}
+}
