@@ -230,7 +230,14 @@ type Network struct {
 
 	pendingInj map[int][]*Packet // injection step -> packets
 	backlog    [][]*Packet       // per node: injected but not yet in queue
-	exchange   ExchangeFn
+
+	// Active-backlog tracking: the nodes whose backlog is nonempty, so
+	// injectPending touches O(active) slots per step instead of scanning
+	// all N backlog slots. inBacklog is the membership bitmap.
+	backlogNodes []grid.NodeID
+	inBacklog    []bool
+
+	exchange ExchangeFn
 	observer   ObserverFn
 	sink       obs.Sink
 	eventSink  obs.EventSink // sink, if it also records fault events
@@ -298,6 +305,7 @@ func New(cfg Config) (*Network, error) {
 		isOcc:      make([]bool, n),
 		pendingInj: map[int][]*Packet{},
 		backlog:    make([][]*Packet, n),
+		inBacklog:  make([]bool, n),
 	}
 	for i := range net.nodes {
 		net.nodes[i].ID = grid.NodeID(i)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"meshroute/internal/grid"
 	"meshroute/internal/obs"
@@ -318,22 +319,39 @@ func (net *Network) findHolder(p *Packet, to grid.NodeID, travel grid.Dir) *Node
 
 // injectPending moves due injections into per-node backlogs and drains
 // backlogs into queues where space permits (FIFO, destination-independent).
+// Only nodes on the active-backlog list are visited, so a step on a large
+// mesh with little pending work costs O(active nodes), not O(N). The list
+// is sorted before draining so nodes drain in ascending id order, exactly
+// the order the previous full-scan implementation used.
 func (net *Network) injectPending(t int) {
 	if ps, ok := net.pendingInj[t]; ok {
 		for _, p := range ps {
 			net.backlog[p.Src] = append(net.backlog[p.Src], p)
+			if !net.inBacklog[p.Src] {
+				net.inBacklog[p.Src] = true
+				net.backlogNodes = append(net.backlogNodes, p.Src)
+			}
 		}
 		net.pendingTotal -= len(ps)
 		net.backlogTotal += len(ps)
 		delete(net.pendingInj, t)
 	}
-	for id := range net.backlog {
+	if len(net.backlogNodes) == 0 {
+		return
+	}
+	slices.Sort(net.backlogNodes)
+	w := 0
+	for _, id := range net.backlogNodes {
 		bl := net.backlog[id]
 		if len(bl) == 0 {
+			net.inBacklog[id] = false
 			continue
 		}
-		// A stalled node admits nothing; its backlog waits with it.
+		// A stalled node admits nothing; its backlog waits with it (and
+		// stays on the active list).
 		if net.hasFaults && net.stalledCnt[id] > 0 {
+			net.backlogNodes[w] = id
+			w++
 			continue
 		}
 		node := &net.nodes[id]
@@ -364,7 +382,14 @@ func (net *Network) injectPending(t int) {
 			net.backlogTotal--
 		}
 		net.backlog[id] = bl
+		if len(bl) == 0 {
+			net.inBacklog[id] = false
+		} else {
+			net.backlogNodes[w] = id
+			w++
+		}
 	}
+	net.backlogNodes = net.backlogNodes[:w]
 }
 
 // compactOcc drops empty nodes from the occupied list.
