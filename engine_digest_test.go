@@ -131,8 +131,7 @@ func dynamicScenario(router string, n, k, horizon int) digestScenario {
 // applyWorkers configures parallel scheduling on the run; workers <= 1
 // leaves the configuration serial.
 func applyWorkers(cfg *sim.Config, workers int) {
-	_ = cfg
-	_ = workers
+	cfg.Workers = workers
 }
 
 func digestScenarios() []digestScenario {
@@ -238,5 +237,35 @@ func TestEngineGoldenDigests(t *testing.T) {
 				t.Fatalf("digest %s != pinned %s: engine behavior changed", got, want)
 			}
 		})
+	}
+}
+
+// TestEngineGoldenDigestsParallel asserts that Workers > 1 reproduces the
+// same pinned digests bit for bit: parallel scheduling must be invisible in
+// every per-packet outcome. Scenarios whose algorithm does not implement
+// sim.ParallelCloner silently run serial, which trivially matches — that is
+// the documented Config.Workers contract, so they stay in the sweep.
+func TestEngineGoldenDigestsParallel(t *testing.T) {
+	if *updateDigests {
+		t.Skip("digest update runs serial")
+	}
+	pinned := loadDigests(t)
+	for _, workers := range []int{2, 4} {
+		for _, s := range digestScenarios() {
+			s, workers := s, workers
+			t.Run(fmt.Sprintf("%s-w%d", s.name, workers), func(t *testing.T) {
+				want, ok := pinned[s.name]
+				if !ok {
+					t.Fatalf("no pinned digest for %s", s.name)
+				}
+				net, err := s.run(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := digestNet(net); got != want {
+					t.Fatalf("workers=%d digest %s != serial pinned %s", workers, got, want)
+				}
+			})
+		}
 	}
 }

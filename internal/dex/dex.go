@@ -111,9 +111,11 @@ type Policy interface {
 	// Schedule is the outqueue policy: for each direction, the index
 	// (into c.Views) of the packet to transmit, or -1.
 	Schedule(c *NodeCtx) [grid.NumDirs]int
-	// Accept is the inqueue policy: one decision per offer. It must
-	// never overflow a queue.
-	Accept(c *NodeCtx, offers []OfferView) []bool
+	// Accept is the inqueue policy: accept[i] reports whether offers[i]
+	// is admitted. accept arrives with len(offers) entries, all false;
+	// the policy sets the entries it admits. It must never overflow a
+	// queue.
+	Accept(c *NodeCtx, offers []OfferView, accept []bool)
 	// Update is the end-of-step state transition.
 	Update(c *NodeCtx)
 }
@@ -182,7 +184,7 @@ func (a *Adapter) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 }
 
 // Accept implements sim.Algorithm.
-func (a *Adapter) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
+func (a *Adapter) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, accept []bool) {
 	c := a.fill(net, n)
 	a.offerBuf = a.offerBuf[:0]
 	for _, o := range offers {
@@ -194,7 +196,7 @@ func (a *Adapter) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bo
 			Profitable: net.Topo.Profitable(o.From, o.P.Dst),
 		})
 	}
-	return a.P.Accept(c, a.offerBuf)
+	a.P.Accept(c, a.offerBuf, accept)
 }
 
 // Update implements sim.Algorithm.
@@ -202,4 +204,13 @@ func (a *Adapter) Update(net *sim.Network, n *sim.Node) {
 	a.P.Update(a.fill(net, n))
 }
 
-var _ sim.Algorithm = (*Adapter)(nil)
+// CloneForWorker implements sim.ParallelCloner: each worker gets a fresh
+// adapter (private ctx and view buffers) around the same policy. This is
+// safe exactly when the policy itself is node-local, which the dex model
+// requires of Schedule and Update.
+func (a *Adapter) CloneForWorker() sim.Algorithm { return NewAdapter(a.P) }
+
+var (
+	_ sim.Algorithm      = (*Adapter)(nil)
+	_ sim.ParallelCloner = (*Adapter)(nil)
+)

@@ -41,9 +41,8 @@ func (s *spyPolicy) Schedule(c *NodeCtx) [grid.NumDirs]int {
 	return sched
 }
 
-func (s *spyPolicy) Accept(c *NodeCtx, offers []OfferView) []bool {
+func (s *spyPolicy) Accept(c *NodeCtx, offers []OfferView, acc []bool) {
 	s.offers = append(s.offers, offers...)
-	acc := make([]bool, len(offers))
 	free := c.K - c.QueueLens[0]
 	for i := range offers {
 		if free > 0 {
@@ -51,7 +50,6 @@ func (s *spyPolicy) Accept(c *NodeCtx, offers []OfferView) []bool {
 			free--
 		}
 	}
-	return acc
 }
 
 func (s *spyPolicy) Update(c *NodeCtx) {

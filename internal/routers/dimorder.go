@@ -35,8 +35,8 @@ func (DimOrderFIFO) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
 
 // Accept implements the round-robin inqueue policy with the swap rule and
 // a reserved slot for column-phase packets (see acceptDimOrderReserving).
-func (r DimOrderFIFO) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
-	return acceptDimOrderReserving(c, offers, r.Schedule(c))
+func (r DimOrderFIFO) Accept(c *dex.NodeCtx, offers []dex.OfferView, accept []bool) {
+	acceptDimOrderReserving(c, offers, accept, r.Schedule(c))
 }
 
 // Update advances the round-robin counter.

@@ -60,8 +60,7 @@ func (DimOrderFF) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 // with the same swap rule as the dex routers: an offer from a neighbor we
 // scheduled a packet toward is accepted unconditionally, because by
 // symmetry that neighbor accepts ours and occupancy is unchanged.
-func (r DimOrderFF) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
-	acc := make([]bool, len(offers))
+func (r DimOrderFF) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, acc []bool) {
 	free := net.K - n.QueueLen(0)
 	here := net.Topo.CoordOf(n.ID)
 	sched := r.Schedule(net, n)
@@ -92,7 +91,6 @@ func (r DimOrderFF) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []
 		acc[bi] = true
 		free--
 	}
-	return acc
 }
 
 func absInt(x int) int {
@@ -102,4 +100,7 @@ func absInt(x int) int {
 	return x
 }
 
-var _ sim.Algorithm = DimOrderFF{}
+// CloneForWorker implements sim.ParallelCloner (the router is stateless).
+func (r DimOrderFF) CloneForWorker() sim.Algorithm { return r }
+
+var _ sim.ParallelCloner = DimOrderFF{}

@@ -89,15 +89,16 @@ func (HotPotato) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 
 // Accept admits everything: deflection nodes always forward all packets
 // next step, so the queue never exceeds the node degree.
-func (HotPotato) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
-	acc := make([]bool, len(offers))
+func (HotPotato) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, acc []bool) {
 	for i := range acc {
 		acc[i] = true
 	}
-	return acc
 }
 
-var _ sim.Algorithm = HotPotato{}
+// CloneForWorker implements sim.ParallelCloner (the router is stateless).
+func (r HotPotato) CloneForWorker() sim.Algorithm { return r }
+
+var _ sim.ParallelCloner = HotPotato{}
 
 // HotPotatoConfig returns a network configuration suitable for the
 // deflection router: central queue with room for one packet per inlink and

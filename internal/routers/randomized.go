@@ -81,8 +81,7 @@ func (r RandZigZag) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 }
 
 // Accept admits while there is room, plus the occupancy-neutral swap rule.
-func (r RandZigZag) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
-	acc := make([]bool, len(offers))
+func (r RandZigZag) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, acc []bool) {
 	sched := r.Schedule(net, n)
 	for i, o := range offers {
 		if sched[o.Travel.Opposite()] >= 0 {
@@ -99,7 +98,9 @@ func (r RandZigZag) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []
 			free--
 		}
 	}
-	return acc
 }
 
-var _ sim.Algorithm = RandZigZag{}
+// CloneForWorker implements sim.ParallelCloner (the router is stateless).
+func (r RandZigZag) CloneForWorker() sim.Algorithm { return r }
+
+var _ sim.ParallelCloner = RandZigZag{}

@@ -58,8 +58,7 @@ func DimOrderWant(prof grid.DirSet) grid.Dir {
 // fields, so the policy remains destination-exchangeable. sched must be the
 // node's own outqueue decision for this step (policies are pure functions
 // of the context, so the caller recomputes it).
-func acceptRoundRobin(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDirs]int) []bool {
-	acc := make([]bool, len(offers))
+func acceptRoundRobin(c *dex.NodeCtx, offers []dex.OfferView, acc []bool, sched [grid.NumDirs]int) {
 	free := c.K - c.QueueLens[0]
 	for i, o := range offers {
 		senderDir := o.Travel.Opposite()
@@ -68,7 +67,7 @@ func acceptRoundRobin(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDir
 		}
 	}
 	if free <= 0 {
-		return acc
+		return
 	}
 	start := grid.Dir(*c.State % grid.NumDirs)
 	for j := grid.Dir(0); j < grid.NumDirs && free > 0; j++ {
@@ -82,7 +81,6 @@ func acceptRoundRobin(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDir
 			break
 		}
 	}
-	return acc
 }
 
 // rotate advances the round-robin counter stored in the node state.
@@ -103,8 +101,7 @@ func rotate(c *dex.NodeCtx) { *c.State = (*c.State + 1) % grid.NumDirs }
 // in practice; with k = 1 there is no slot to reserve and dimension-order
 // central-queue routing can wedge, which is precisely why Theorem 15 moves
 // to four per-inlink queues.
-func acceptDimOrderReserving(c *dex.NodeCtx, offers []dex.OfferView, sched [grid.NumDirs]int) []bool {
-	acc := make([]bool, len(offers))
+func acceptDimOrderReserving(c *dex.NodeCtx, offers []dex.OfferView, acc []bool, sched [grid.NumDirs]int) {
 	for i, o := range offers {
 		if sched[o.Travel.Opposite()] >= 0 {
 			acc[i] = true // swap: occupancy-neutral
@@ -130,5 +127,4 @@ func acceptDimOrderReserving(c *dex.NodeCtx, offers []dex.OfferView, sched [grid
 			break
 		}
 	}
-	return acc
 }

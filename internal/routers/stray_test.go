@@ -140,10 +140,8 @@ type greedyStub struct{}
 func (greedyStub) Name() string                           { return "stub" }
 func (greedyStub) InitNode(net *sim.Network, n *sim.Node) {}
 func (greedyStub) Update(net *sim.Network, n *sim.Node)   {}
-func (greedyStub) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer) []bool {
-	acc := make([]bool, len(offers))
+func (greedyStub) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, acc []bool) {
 	for i := range acc {
 		acc[i] = true
 	}
-	return acc
 }

@@ -56,8 +56,7 @@ func (Thm15) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
 
 // Accept always admits vertical traffic and admits horizontal traffic only
 // if the target inqueue held fewer than k packets at the start of the step.
-func (Thm15) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
-	acc := make([]bool, len(offers))
+func (Thm15) Accept(c *dex.NodeCtx, offers []dex.OfferView, acc []bool) {
 	for i, o := range offers {
 		if !o.Travel.Horizontal() {
 			acc[i] = true
@@ -66,7 +65,6 @@ func (Thm15) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
 		tag := uint8(o.Travel.Opposite())
 		acc[i] = c.QueueLens[tag] < c.K
 	}
-	return acc
 }
 
 // Update implements dex.Policy (the router is stateless).

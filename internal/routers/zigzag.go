@@ -91,8 +91,8 @@ func (r ZigZag) Schedule(c *dex.NodeCtx) [grid.NumDirs]int {
 }
 
 // Accept implements the round-robin inqueue policy with the swap rule.
-func (r ZigZag) Accept(c *dex.NodeCtx, offers []dex.OfferView) []bool {
-	return acceptRoundRobin(c, offers, r.Schedule(c))
+func (r ZigZag) Accept(c *dex.NodeCtx, offers []dex.OfferView, accept []bool) {
+	acceptRoundRobin(c, offers, accept, r.Schedule(c))
 }
 
 // Update flips the preference of every packet that failed to move this step

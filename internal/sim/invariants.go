@@ -40,10 +40,14 @@ func (net *Network) checkStepInvariants(alg Algorithm) error {
 			return fmt.Errorf("sim: invariant: node %v queue counters sum to %d but holds %d packets (step %d)",
 				net.Topo.CoordOf(id), sum, len(node.Packets), net.step)
 		}
-		for _, p := range node.Packets {
+		for i, p := range node.Packets {
 			if p.At != id {
 				return fmt.Errorf("sim: invariant: packet %d resident at node %v but At=%v (step %d)",
 					p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(p.At), net.step)
+			}
+			if int(p.idx) != i {
+				return fmt.Errorf("sim: invariant: packet %d at queue position %d carries index %d (step %d)",
+					p.ID, i, p.idx, net.step)
 			}
 			if p.Delivered() {
 				return fmt.Errorf("sim: invariant: delivered packet %d still resident at %v (step %d)",

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+
+	"meshroute/internal/grid"
+)
+
+// buildReversal fills an n×n mesh with the reversal permutation: node i
+// sends one packet to node n²-1-i (skipping fixed points).
+func buildReversal(tb testing.TB, n, k, workers int) *Network {
+	tb.Helper()
+	net := MustNew(Config{
+		Topo:           grid.NewSquareMesh(n),
+		K:              k,
+		Queues:         CentralQueue,
+		RequireMinimal: true,
+		Workers:        workers,
+	})
+	total := n * n
+	for i := 0; i < total; i++ {
+		j := total - 1 - i
+		if i == j {
+			continue
+		}
+		net.MustPlace(net.NewPacket(grid.NodeID(i), grid.NodeID(j)))
+	}
+	return net
+}
+
+// buildDynamic builds a mesh with a deterministic arithmetic injection
+// pattern, exercising the backlog path.
+func buildDynamic(tb testing.TB, n, k, horizon, workers int) *Network {
+	tb.Helper()
+	net := MustNew(Config{
+		Topo:           grid.NewSquareMesh(n),
+		K:              k,
+		Queues:         CentralQueue,
+		RequireMinimal: true,
+		Workers:        workers,
+	})
+	for step := 1; step <= horizon/2; step++ {
+		for id := 0; id < n*n; id++ {
+			if (id+step)%5 == 0 {
+				dst := grid.NodeID((id*17 + step*23) % (n * n))
+				net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
+			}
+		}
+	}
+	return net
+}
+
+// TestParallelWorkersBitIdentical drives the same instance serial and with
+// several worker counts and requires identical per-packet outcomes AND an
+// identical occupied-list order after every step — the strongest form of
+// the deterministic-merge contract. Running under -race also makes this the
+// data-race probe for the sharded part (a)/(e) paths.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	const n, k, steps = 12, 2, 120
+	for _, workers := range []int{2, 3, 8} {
+		ref := buildDynamic(t, n, k, steps, 0)
+		refAlg := greedyXY{}
+		par := buildDynamic(t, n, k, steps, workers)
+		parAlg := greedyXY{}
+		for s := 0; s < steps; s++ {
+			if ref.Done() && par.Done() {
+				break
+			}
+			if err := ref.StepOnce(refAlg); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.StepOnce(parAlg); err != nil {
+				t.Fatal(err)
+			}
+			ro, po := ref.Occupied(), par.Occupied()
+			if len(ro) != len(po) {
+				t.Fatalf("workers=%d step %d: occ sizes differ (%d vs %d)", workers, s, len(ro), len(po))
+			}
+			for i := range ro {
+				if ro[i] != po[i] {
+					t.Fatalf("workers=%d step %d: occ[%d] = %v vs %v", workers, s, i, ro[i], po[i])
+				}
+			}
+		}
+		rp, pp := ref.Packets(), par.Packets()
+		if len(rp) != len(pp) {
+			t.Fatalf("workers=%d: packet counts differ", workers)
+		}
+		for i := range rp {
+			a, b := rp[i], pp[i]
+			if a.DeliverStep != b.DeliverStep || a.Hops != b.Hops || a.At != b.At {
+				t.Fatalf("workers=%d: packet %d diverged: serial (deliver=%d hops=%d at=%v) vs parallel (deliver=%d hops=%d at=%v)",
+					workers, a.ID, a.DeliverStep, a.Hops, a.At, b.DeliverStep, b.Hops, b.At)
+			}
+		}
+	}
+}
+
+// nonCloner wraps greedyXY while hiding its CloneForWorker method, to pin
+// the silent serial fallback for algorithms without ParallelCloner.
+type nonCloner struct{ g greedyXY }
+
+func (a nonCloner) Name() string                                             { return "non-cloner" }
+func (a nonCloner) InitNode(net *Network, n *Node)                           { a.g.InitNode(net, n) }
+func (a nonCloner) Schedule(net *Network, n *Node) [grid.NumDirs]int         { return a.g.Schedule(net, n) }
+func (a nonCloner) Accept(net *Network, n *Node, offers []Offer, acc []bool) { a.g.Accept(net, n, offers, acc) }
+func (a nonCloner) Update(net *Network, n *Node)                             { a.g.Update(net, n) }
+
+// TestWorkersNonClonerFallsBackSerial: Workers > 1 with an algorithm that
+// does not implement ParallelCloner must still run (serially) and match the
+// serial result exactly.
+func TestWorkersNonClonerFallsBackSerial(t *testing.T) {
+	ref := buildDynamic(t, 8, 2, 60, 0)
+	par := buildDynamic(t, 8, 2, 60, 4)
+	if _, err := ref.RunPartial(nonCloner{}, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.RunPartial(nonCloner{}, 200); err != nil {
+		t.Fatal(err)
+	}
+	rp, pp := ref.Packets(), par.Packets()
+	for i := range rp {
+		if rp[i].DeliverStep != pp[i].DeliverStep || rp[i].Hops != pp[i].Hops {
+			t.Fatalf("packet %d diverged under non-cloner fallback", rp[i].ID)
+		}
+	}
+}
+
+// TestOccupiedOrderDeterminism pins the determinism contract documented on
+// the occ field: two identical runs observe the identical (insertion-
+// ordered, not sorted) Occupied() sequence after every step.
+func TestOccupiedOrderDeterminism(t *testing.T) {
+	const n, k, steps = 10, 2, 80
+	a := buildDynamic(t, n, k, steps, 0)
+	b := buildDynamic(t, n, k, steps, 0)
+	sorted := true
+	for s := 0; s < steps && !(a.Done() && b.Done()); s++ {
+		if err := a.StepOnce(greedyXY{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.StepOnce(greedyXY{}); err != nil {
+			t.Fatal(err)
+		}
+		ao, bo := a.Occupied(), b.Occupied()
+		if len(ao) != len(bo) {
+			t.Fatalf("step %d: occupied sizes differ", s)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("step %d: Occupied()[%d] differs between identical runs: %v vs %v", s, i, ao[i], bo[i])
+			}
+			if i > 0 && ao[i] < ao[i-1] {
+				sorted = false
+			}
+		}
+	}
+	// The contract is insertion order, not sortedness; with dynamic
+	// injection the list goes unsorted, which is what the documentation
+	// now states. Guard against silently reverting to a sorted list.
+	if sorted {
+		t.Log("note: occupied list stayed sorted this run (contract only requires determinism)")
+	}
+}
+
+// TestSteadyStateStepAllocs pins the zero-allocation hot path: after
+// warmup, a step with a nil sink and no injections must not allocate.
+func TestSteadyStateStepAllocs(t *testing.T) {
+	net := buildReversal(t, 16, 2, 0)
+	alg := greedyXY{}
+	for i := 0; i < 5; i++ { // warm scratch buffers
+		if err := net.StepOnce(alg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := net.StepOnce(alg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state StepOnce allocates %.1f times per step, want 0", avg)
+	}
+}

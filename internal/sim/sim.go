@@ -86,6 +86,14 @@ type Packet struct {
 	Class uint8
 	// Tag is a free integer tag (e.g. the i index of an N_i-packet).
 	Tag int32
+
+	// idx is the packet's position in its holder's Packets slice,
+	// maintained by the engine (attach and the part (d) compaction), so
+	// removal never needs a scan.
+	idx int32
+	// departing marks a packet scheduled to leave its node during the
+	// part (d) batch removal of the current step.
+	departing bool
 }
 
 // Delivered reports whether the packet has reached its destination.
@@ -164,12 +172,27 @@ type Algorithm interface {
 	// outlink, or -1. A packet may be scheduled on at most one outlink,
 	// and only on an existing outlink.
 	Schedule(net *Network, n *Node) [grid.NumDirs]int
-	// Accept implements the inqueue policy: it returns, for each offer,
-	// whether the packet is admitted. It must never overflow a queue.
-	Accept(net *Network, n *Node, offers []Offer) []bool
+	// Accept implements the inqueue policy: accept[i] reports whether
+	// offers[i] is admitted. The engine provides accept with exactly
+	// len(offers) entries, cleared to false; the policy sets the entries
+	// it admits. It must never overflow a queue.
+	Accept(net *Network, n *Node, offers []Offer, accept []bool)
 	// Update is the part (e) state update, called for every node that
 	// held a packet at the start or end of the step.
 	Update(net *Network, n *Node)
+}
+
+// ParallelCloner is implemented by algorithms whose Schedule and Update are
+// node-local (they read shared network state but mutate only the node they
+// are given and its packets). When Config.Workers > 1, the engine calls
+// CloneForWorker once per worker and drives each clone on a disjoint shard
+// of the occupied-node list; InitNode and Accept always run on the original.
+// Stateless algorithms may simply return themselves.
+type ParallelCloner interface {
+	Algorithm
+	// CloneForWorker returns an Algorithm safe to drive concurrently with
+	// the receiver on disjoint node sets.
+	CloneForWorker() Algorithm
 }
 
 // Config configures a Network.
@@ -206,6 +229,14 @@ type Config struct {
 	// carrying structured diagnostics instead of burning the remaining
 	// step budget. 0 disables the watchdog.
 	Watchdog int
+	// Workers, when > 1, shards part (a) outqueue scheduling and part (e)
+	// state updates across that many goroutines. It takes effect only for
+	// algorithms implementing ParallelCloner; other algorithms run serial.
+	// Each worker owns a contiguous shard of the occupied-node list and a
+	// private algorithm clone, touches only its own nodes, and treats all
+	// shared engine state as read-only, so results are bit-identical to
+	// serial execution. 0 and 1 mean serial.
+	Workers int
 }
 
 // Network is a mesh with packets in flight. Create with New, populate with
@@ -222,11 +253,23 @@ type Network struct {
 	nodes []Node
 	step  int
 
-	occ      []grid.NodeID // occupied node list (maintained sorted)
-	isOcc    []bool
-	total    int
+	// occ is the occupied-node list, in first-occupied (insertion) order —
+	// NOT sorted. Its order is deterministic: it depends only on the
+	// placement/injection sequence and the algorithm's moves, so identical
+	// runs see identical occ order (pinned by TestOccupiedOrderDeterminism).
+	// Parts (a) and (e) iterate it, which fixes the order moves are
+	// presented to the exchange hook and offers to inqueue policies.
+	occ       []grid.NodeID
+	isOcc     []bool
+	total     int
 	delivered int
-	packets  []*Packet // all placed packets by ID order
+	packets   []*Packet // all placed packets by ID order
+
+	// arena holds the packet slabs NewPacket allocates from. Chunks are
+	// fixed-capacity and never regrow, so *Packet pointers stay stable for
+	// the life of the network while packets created together stay adjacent
+	// in memory (one heap allocation per arenaChunk packets).
+	arena [][]Packet
 
 	pendingInj map[int][]*Packet // injection step -> packets
 	backlog    [][]*Packet       // per node: injected but not yet in queue
@@ -258,16 +301,46 @@ type Network struct {
 	// Metrics accumulates run statistics.
 	Metrics Metrics
 
+	// Parallel-scheduling state (used only when cfg.Workers > 1 and the
+	// algorithm implements ParallelCloner). Clones are cached by algorithm
+	// name so repeated StepOnce calls reuse them.
+	parName   string
+	parClones []Algorithm
+	wmoves    [][]Move
+	wdrops    []int
+	werrs     []error
+
 	inited  bool
 	nextID  int32
 	scratch stepScratch
 }
 
+// stepScratch holds every per-step buffer the engine needs, reused across
+// steps so a steady-state step allocates nothing. The four int32 arrays are
+// node-indexed; offMark/sendMark use epoch stamping (compared against stamp)
+// so they never need clearing.
 type stepScratch struct {
-	moves    []Move
-	byTarget map[grid.NodeID][]Offer
-	targets  []grid.NodeID
-	touched  []grid.NodeID
+	moves   []Move
+	targets []grid.NodeID // part (c) offer targets, first-seen order
+
+	// Dense per-node offer index: offers for targets[j] occupy
+	// offers[offStart[t]:offStart[t]+offCount[t]]. offMark[t] == stamp
+	// marks t as a target of the current step.
+	offers   []Offer
+	offStart []int32
+	offCount []int32
+	offMark  []int32
+	// sendMark deduplicates sender nodes in the part (d) batch removal.
+	sendMark []int32
+	stamp    int32
+
+	arrivals []arrival
+	accept   []bool          // Accept decision buffer, sliced per target
+	senders  []grid.NodeID   // distinct sending nodes of this step's arrivals
+
+	// Observer record buffers (reused only when an observer is set).
+	recMoves     []Move
+	recDelivered []int32
 }
 
 // New creates an empty network, validating the configuration: the
@@ -290,6 +363,9 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Watchdog < 0 {
 		return nil, fmt.Errorf("sim: negative watchdog window %d", cfg.Watchdog)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
+	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.Topo); err != nil {
 			return nil, err
@@ -310,7 +386,10 @@ func New(cfg Config) (*Network, error) {
 	for i := range net.nodes {
 		net.nodes[i].ID = grid.NodeID(i)
 	}
-	net.scratch.byTarget = make(map[grid.NodeID][]Offer)
+	net.scratch.offStart = make([]int32, n)
+	net.scratch.offCount = make([]int32, n)
+	net.scratch.offMark = make([]int32, n)
+	net.scratch.sendMark = make([]int32, n)
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		net.hasFaults = true
 		net.linkDownCnt = make([][grid.NumDirs]int16, n)
@@ -425,18 +504,30 @@ func (net *Network) emitEvent(e obs.Event) {
 	}
 }
 
+// arenaChunk is the capacity of one packet-arena slab. Chunks are allocated
+// at full capacity and appended to in place, so the pointers NewPacket
+// returns are never invalidated by later allocations.
+const arenaChunk = 1024
+
 // NewPacket allocates a packet with the next free ID, routed from src to
-// dst. The packet is not placed; use Place or QueueInjection.
+// dst, from the network's packet arena (one heap allocation per arenaChunk
+// packets, with packets created together adjacent in memory). The packet is
+// not placed; use Place or QueueInjection. Returned pointers remain valid
+// for the life of the network.
 func (net *Network) NewPacket(src, dst grid.NodeID) *Packet {
-	p := &Packet{
+	if len(net.arena) == 0 || len(net.arena[len(net.arena)-1]) == arenaChunk {
+		net.arena = append(net.arena, make([]Packet, 0, arenaChunk))
+	}
+	c := &net.arena[len(net.arena)-1]
+	*c = append(*c, Packet{
 		ID:          net.nextID,
 		Src:         src,
 		Dst:         dst,
 		Arrived:     grid.NoDir,
 		DeliverStep: -1,
-	}
+	})
 	net.nextID++
-	return p
+	return &(*c)[len(*c)-1]
 }
 
 // Place puts a packet at its source node before the run starts. A packet
@@ -491,25 +582,18 @@ func (net *Network) QueueInjection(p *Packet, step int) {
 	net.pendingInj[step] = append(net.pendingInj[step], p)
 }
 
-// attach adds p to node under queue tag, maintaining occupancy tracking.
+// attach adds p to node under queue tag, maintaining occupancy tracking and
+// the packet's position index (used by the part (d) batch removal).
 func (net *Network) attach(node *Node, p *Packet, tag uint8) {
 	p.QTag = tag
 	p.At = node.ID
+	p.idx = int32(len(node.Packets))
 	node.Packets = append(node.Packets, p)
 	node.counts[tag]++
 	if !net.isOcc[node.ID] {
 		net.isOcc[node.ID] = true
 		net.occ = append(net.occ, node.ID)
 	}
-}
-
-// detach removes the packet at index i from the node. Occupancy lists are
-// compacted lazily by the step loop.
-func (net *Network) detach(node *Node, i int) *Packet {
-	p := node.Packets[i]
-	node.counts[p.QTag]--
-	node.Packets = append(node.Packets[:i], node.Packets[i+1:]...)
-	return p
 }
 
 // capOf returns the capacity of the queue with the given tag.

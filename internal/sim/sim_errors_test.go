@@ -59,23 +59,6 @@ func TestExchangeBreakingMinimalityRejected(t *testing.T) {
 	}
 }
 
-func TestAcceptLengthMismatchRejected(t *testing.T) {
-	net := newTestNet(t, 6, 2)
-	topo := net.Topo
-	net.MustPlace(net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(3, 0))))
-	net.MustPlace(net.NewPacket(topo.ID(grid.XY(2, 0)), topo.ID(grid.XY(2, 3))))
-	// Force an offer to a non-destination node so Accept runs.
-	if err := net.StepOnce(badAcceptAlg{}); err == nil || !strings.Contains(err.Error(), "decisions") {
-		t.Fatalf("want accept-length error, got %v", err)
-	}
-}
-
-type badAcceptAlg struct{ greedyXY }
-
-func (badAcceptAlg) Accept(net *Network, n *Node, offers []Offer) []bool {
-	return nil // wrong length
-}
-
 func TestPlaceAfterRunRejected(t *testing.T) {
 	net := newTestNet(t, 6, 2)
 	net.MustPlace(net.NewPacket(0, 7))
@@ -98,6 +81,7 @@ func TestNewRejectsBadConfigs(t *testing.T) {
 		{"bad queue model", Config{Topo: grid.NewSquareMesh(4), K: 1, Queues: QueueModel(9)}, "queue model"},
 		{"negative stray", Config{Topo: grid.NewSquareMesh(4), K: 1, MaxStray: -1}, "MaxStray"},
 		{"negative watchdog", Config{Topo: grid.NewSquareMesh(4), K: 1, Watchdog: -5}, "watchdog"},
+		{"negative workers", Config{Topo: grid.NewSquareMesh(4), K: 1, Workers: -2}, "worker count"},
 	}
 	for _, c := range cases {
 		net, err := New(c.cfg)

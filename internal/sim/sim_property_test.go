@@ -118,12 +118,10 @@ func TestInjectionFIFO(t *testing.T) {
 // The engine rejects an inqueue policy that overflows a queue.
 type overflowAlg struct{ greedyXY }
 
-func (overflowAlg) Accept(net *Network, n *Node, offers []Offer) []bool {
-	acc := make([]bool, len(offers))
+func (overflowAlg) Accept(net *Network, n *Node, offers []Offer, acc []bool) {
 	for i := range acc {
 		acc[i] = true // ignore capacity
 	}
-	return acc
 }
 
 func TestOverflowDetected(t *testing.T) {

@@ -40,8 +40,7 @@ func (greedyXY) Schedule(net *Network, n *Node) [grid.NumDirs]int {
 	return sched
 }
 
-func (greedyXY) Accept(net *Network, n *Node, offers []Offer) []bool {
-	acc := make([]bool, len(offers))
+func (greedyXY) Accept(net *Network, n *Node, offers []Offer, acc []bool) {
 	free := net.K - n.QueueLen(0)
 	for i, o := range offers {
 		if o.P.Dst == n.ID {
@@ -53,8 +52,10 @@ func (greedyXY) Accept(net *Network, n *Node, offers []Offer) []bool {
 			free--
 		}
 	}
-	return acc
 }
+
+// CloneForWorker implements ParallelCloner (the algorithm is stateless).
+func (g greedyXY) CloneForWorker() Algorithm { return g }
 
 func newTestNet(t *testing.T, n, k int) *Network {
 	t.Helper()

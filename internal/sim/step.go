@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"slices"
+	"sync"
 
 	"meshroute/internal/grid"
 	"meshroute/internal/obs"
@@ -60,7 +62,9 @@ type arrival struct {
 }
 
 // StepOnce executes one synchronous step: outqueue scheduling, adversary
-// exchanges, inqueue acceptance, transmission, and state update.
+// exchanges, inqueue acceptance, transmission, and state update. At steady
+// state (no injections, nil sink) it performs zero heap allocations: every
+// per-step buffer lives in stepScratch and is reused across steps.
 func (net *Network) StepOnce(alg Algorithm) error {
 	if !net.inited {
 		net.compactOcc()
@@ -79,81 +83,53 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	net.injectPending(t)
 	net.compactOcc()
 
+	s := &net.scratch
+	s.bumpStamp()
+
 	// Part (a): outqueue policies schedule packets. Stalled nodes are
-	// frozen: they schedule nothing (and below, accept nothing).
-	moves := net.scratch.moves[:0]
-	for _, id := range net.occ {
-		node := &net.nodes[id]
-		if len(node.Packets) == 0 {
-			continue
+	// frozen: they schedule nothing (and below, accept nothing). With
+	// Workers > 1 and a ParallelCloner algorithm, contiguous shards of the
+	// occupied list are scheduled concurrently and merged in shard order,
+	// which reproduces the serial move order exactly.
+	var (
+		moves []Move
+		drops int
+		err   error
+	)
+	clones := net.workerClones(alg)
+	if clones == nil {
+		moves, drops, err = net.scheduleNodes(alg, net.occ, s.moves[:0])
+	} else {
+		w := len(clones)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo, hi := i*len(net.occ)/w, (i+1)*len(net.occ)/w
+			i, shard := i, net.occ[lo:hi]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				net.wmoves[i], net.wdrops[i], net.werrs[i] =
+					net.scheduleNodes(clones[i], shard, net.wmoves[i][:0])
+			}()
 		}
-		if net.hasFaults {
-			if net.stalledCnt[id] > 0 {
-				continue
+		wg.Wait()
+		moves = s.moves[:0]
+		for i := 0; i < w; i++ {
+			if err == nil {
+				err = net.werrs[i]
 			}
-			// Unreachability: a minimal router can never deliver a packet
-			// whose every profitable outlink has permanently failed.
-			if net.cfg.RequireMinimal {
-				if pd := net.linkPerm[id]; pd != 0 {
-					for _, p := range node.Packets {
-						if prof := net.Topo.Profitable(id, p.Dst); prof != 0 && prof&^pd == 0 {
-							err := &UnreachableError{
-								PacketID: p.ID, At: id, Dst: p.Dst,
-								AtCoord: net.Topo.CoordOf(id), DstCoord: net.Topo.CoordOf(p.Dst),
-								Step: t,
-							}
-							net.emitEvent(obs.Event{Step: t, Kind: "unreachable", Node: int(id), Detail: err.Error()})
-							return err
-						}
-					}
-				}
-			}
-		}
-		sched := alg.Schedule(net, node)
-		var used [grid.NumDirs]int
-		for i := range used {
-			used[i] = -1
-		}
-		for d := grid.Dir(0); d < grid.NumDirs; d++ {
-			idx := sched[d]
-			if idx < 0 {
-				continue
-			}
-			if idx >= len(node.Packets) {
-				return fmt.Errorf("sim: %s scheduled out-of-range packet index %d at node %v",
-					alg.Name(), idx, net.Topo.CoordOf(id))
-			}
-			for dd := grid.Dir(0); dd < d; dd++ {
-				if used[dd] == idx {
-					return fmt.Errorf("sim: %s scheduled packet %d on two outlinks at node %v",
-						alg.Name(), node.Packets[idx].ID, net.Topo.CoordOf(id))
-				}
-			}
-			used[d] = idx
-			p := node.Packets[idx]
-			nb, ok := net.Topo.Neighbor(id, d)
-			if !ok {
-				return fmt.Errorf("sim: %s scheduled packet %d on missing outlink %v of node %v",
-					alg.Name(), p.ID, d, net.Topo.CoordOf(id))
-			}
-			if net.cfg.RequireMinimal && !net.Topo.Profitable(id, p.Dst).Has(d) {
-				return fmt.Errorf("sim: %s scheduled non-minimal move of packet %d: %v -> %v toward %v",
-					alg.Name(), p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(nb), net.Topo.CoordOf(p.Dst))
-			}
-			if !net.cfg.RequireMinimal && net.cfg.MaxStray > 0 && !net.withinStray(p, nb) {
-				return fmt.Errorf("sim: %s moved packet %d more than %d beyond its source-destination rectangle",
-					alg.Name(), p.ID, net.cfg.MaxStray)
-			}
-			// A legal move onto a failed link is silently dropped: the
-			// packet stays put and may retry (or detour) next step.
-			if net.hasFaults && !net.LinkUp(id, d) {
-				net.Metrics.FaultDrops++
-				continue
-			}
-			moves = append(moves, Move{P: p, From: id, To: nb, Travel: d})
+			moves = append(moves, net.wmoves[i]...)
+			drops += net.wdrops[i]
 		}
 	}
-	net.scratch.moves = moves
+	net.Metrics.FaultDrops += drops
+	s.moves = moves
+	if err != nil {
+		if ue, ok := err.(*UnreachableError); ok {
+			net.emitEvent(obs.Event{Step: t, Kind: "unreachable", Node: int(ue.At), Detail: ue.Error()})
+		}
+		return err
+	}
 
 	// Part (b): adversary exchanges destination addresses.
 	if net.exchange != nil {
@@ -173,10 +149,18 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	// Part (c): inqueue policies accept or refuse. Packets scheduled into
 	// their destination are delivered on arrival and occupy no queue
 	// space, so they bypass the inqueue policy.
-	var arrivals []arrival
-	byTarget := net.scratch.byTarget
-	targets := net.scratch.targets[:0]
-	for _, m := range moves {
+	//
+	// Offers are grouped by target with a dense two-pass index instead of a
+	// map: pass 1 counts offers per target (and collects targets in
+	// first-seen order), a prefix sum assigns each target a contiguous
+	// region of the flat offers slice, and pass 2 fills the regions in move
+	// order — so both the target order and the per-target offer order match
+	// the map-based grouping this replaces.
+	arrivals := s.arrivals[:0]
+	targets := s.targets[:0]
+	nOffers := 0
+	for i := range moves {
+		m := &moves[i]
 		// A stalled node accepts nothing — not even deliveries. The
 		// scheduled packet stays at its sender and retries later.
 		if net.hasFaults && net.stalledCnt[m.To] > 0 {
@@ -187,44 +171,96 @@ func (net *Network) StepOnce(alg Algorithm) error {
 			arrivals = append(arrivals, arrival{p: m.P, to: m.To, dir: m.Travel})
 			continue
 		}
-		if _, seen := byTarget[m.To]; !seen {
+		if s.offMark[m.To] != s.stamp {
+			s.offMark[m.To] = s.stamp
+			s.offCount[m.To] = 0
 			targets = append(targets, m.To)
 		}
-		byTarget[m.To] = append(byTarget[m.To], Offer{P: m.P, From: m.From, Travel: m.Travel})
+		s.offCount[m.To]++
+		nOffers++
 	}
-	net.scratch.targets = targets
+	s.targets = targets
+	var pos int32
 	for _, to := range targets {
-		offers := byTarget[to]
-		acc := alg.Accept(net, &net.nodes[to], offers)
-		if len(acc) != len(offers) {
-			return fmt.Errorf("sim: %s Accept returned %d decisions for %d offers", alg.Name(), len(acc), len(offers))
+		s.offStart[to] = pos
+		pos += s.offCount[to]
+	}
+	if cap(s.offers) < nOffers {
+		s.offers = make([]Offer, nOffers)
+	}
+	offers := s.offers[:nOffers]
+	s.offers = offers
+	for i := range moves {
+		m := &moves[i]
+		if net.hasFaults && net.stalledCnt[m.To] > 0 {
+			continue
 		}
+		if m.To == m.P.Dst {
+			continue
+		}
+		offers[s.offStart[m.To]] = Offer{P: m.P, From: m.From, Travel: m.Travel}
+		s.offStart[m.To]++
+	}
+	for _, to := range targets {
+		cnt := int(s.offCount[to])
+		start := int(s.offStart[to]) - cnt // pass 2 advanced offStart past the region
+		offs := offers[start : start+cnt]
+		if cap(s.accept) < cnt {
+			s.accept = make([]bool, cnt)
+		}
+		acc := s.accept[:cnt]
+		for i := range acc {
+			acc[i] = false
+		}
+		alg.Accept(net, &net.nodes[to], offs, acc)
 		for i, ok := range acc {
 			if ok {
-				arrivals = append(arrivals, arrival{p: offers[i].P, to: to, dir: offers[i].Travel})
+				arrivals = append(arrivals, arrival{p: offs[i].P, to: to, dir: offs[i].Travel})
 			}
 		}
-		delete(byTarget, to)
 	}
+	s.arrivals = arrivals
 
 	// Part (d): simultaneous transmission. Remove all movers first, then
 	// insert, so departures free space for arrivals within the step.
+	// Each mover is located at its sender in O(1) via its engine-maintained
+	// queue index, and each sender's queue is compacted once, preserving
+	// FIFO order of the packets that stay.
+	senders := s.senders[:0]
 	for _, a := range arrivals {
-		node := net.findHolder(a.p, a.to, a.dir)
-		if node == nil {
-			return fmt.Errorf("sim: internal error, packet %d not found at sender", a.p.ID)
+		p := a.p
+		src, ok := net.Topo.Neighbor(a.to, a.dir.Opposite())
+		if !ok || p.At != src {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID)
 		}
-		idx := -1
-		for i, q := range node.Packets {
-			if q == a.p {
-				idx = i
-				break
+		node := &net.nodes[src]
+		if int(p.idx) >= len(node.Packets) || node.Packets[p.idx] != p {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID)
+		}
+		p.departing = true
+		if s.sendMark[src] != s.stamp {
+			s.sendMark[src] = s.stamp
+			senders = append(senders, src)
+		}
+	}
+	s.senders = senders
+	for _, id := range senders {
+		node := &net.nodes[id]
+		w := 0
+		for _, q := range node.Packets {
+			if q.departing {
+				node.counts[q.QTag]--
+				continue
 			}
+			q.idx = int32(w)
+			node.Packets[w] = q
+			w++
 		}
-		net.detach(node, idx)
+		node.Packets = node.Packets[:w]
 	}
 	for _, a := range arrivals {
 		p := a.p
+		p.departing = false
 		p.Hops++
 		net.Metrics.TotalHops++
 		p.Arrived = a.dir
@@ -253,12 +289,34 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	}
 
 	// Part (e): state updates on every node that held packets this step.
-	// Stalled nodes stay frozen: their state must not advance.
-	for _, id := range net.occ {
-		if net.hasFaults && net.stalledCnt[id] > 0 {
-			continue
+	// Stalled nodes stay frozen: their state must not advance. Updates are
+	// node-local for ParallelCloner algorithms, so sharding them changes no
+	// observable state relative to the serial loop.
+	if clones == nil {
+		for _, id := range net.occ {
+			if net.hasFaults && net.stalledCnt[id] > 0 {
+				continue
+			}
+			alg.Update(net, &net.nodes[id])
 		}
-		alg.Update(net, &net.nodes[id])
+	} else {
+		w := len(clones)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo, hi := i*len(net.occ)/w, (i+1)*len(net.occ)/w
+			c, shard := clones[i], net.occ[lo:hi]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, id := range shard {
+					if net.hasFaults && net.stalledCnt[id] > 0 {
+						continue
+					}
+					c.Update(net, &net.nodes[id])
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
 	if net.delivered > deliveredBefore {
@@ -273,16 +331,139 @@ func (net *Network) StepOnce(alg Algorithm) error {
 
 	if net.observer != nil {
 		rec := StepRecord{Step: t}
+		recMoves := s.recMoves[:0]
+		recDelivered := s.recDelivered[:0]
 		for _, a := range arrivals {
 			src, _ := net.Topo.Neighbor(a.to, a.dir.Opposite())
-			rec.Moves = append(rec.Moves, Move{P: a.p, From: src, To: a.to, Travel: a.dir})
+			recMoves = append(recMoves, Move{P: a.p, From: src, To: a.to, Travel: a.dir})
 			if a.p.Delivered() && a.p.DeliverStep == t {
-				rec.Delivered = append(rec.Delivered, a.p.ID)
+				recDelivered = append(recDelivered, a.p.ID)
 			}
 		}
+		rec.Moves, rec.Delivered = recMoves, recDelivered
+		s.recMoves, s.recDelivered = recMoves, recDelivered
 		net.observer(rec)
 	}
 	return nil
+}
+
+// scheduleNodes runs part (a) for the given occupied nodes, appending the
+// scheduled (and fault-surviving) moves to dst. It returns the moves, the
+// number of fault drops, and the first scheduling error. It mutates only the
+// given nodes (through alg.Schedule) and dst, treating all other network
+// state as read-only, so disjoint shards may run concurrently.
+func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) ([]Move, int, error) {
+	t := net.step
+	drops := 0
+	for _, id := range ids {
+		node := &net.nodes[id]
+		if len(node.Packets) == 0 {
+			continue
+		}
+		if net.hasFaults {
+			if net.stalledCnt[id] > 0 {
+				continue
+			}
+			// Unreachability: a minimal router can never deliver a packet
+			// whose every profitable outlink has permanently failed.
+			if net.cfg.RequireMinimal {
+				if pd := net.linkPerm[id]; pd != 0 {
+					for _, p := range node.Packets {
+						if prof := net.Topo.Profitable(id, p.Dst); prof != 0 && prof&^pd == 0 {
+							return dst, drops, &UnreachableError{
+								PacketID: p.ID, At: id, Dst: p.Dst,
+								AtCoord: net.Topo.CoordOf(id), DstCoord: net.Topo.CoordOf(p.Dst),
+								Step: t,
+							}
+						}
+					}
+				}
+			}
+		}
+		sched := alg.Schedule(net, node)
+		var used [grid.NumDirs]int
+		for i := range used {
+			used[i] = -1
+		}
+		for d := grid.Dir(0); d < grid.NumDirs; d++ {
+			idx := sched[d]
+			if idx < 0 {
+				continue
+			}
+			if idx >= len(node.Packets) {
+				return dst, drops, fmt.Errorf("sim: %s scheduled out-of-range packet index %d at node %v",
+					alg.Name(), idx, net.Topo.CoordOf(id))
+			}
+			for dd := grid.Dir(0); dd < d; dd++ {
+				if used[dd] == idx {
+					return dst, drops, fmt.Errorf("sim: %s scheduled packet %d on two outlinks at node %v",
+						alg.Name(), node.Packets[idx].ID, net.Topo.CoordOf(id))
+				}
+			}
+			used[d] = idx
+			p := node.Packets[idx]
+			nb, ok := net.Topo.Neighbor(id, d)
+			if !ok {
+				return dst, drops, fmt.Errorf("sim: %s scheduled packet %d on missing outlink %v of node %v",
+					alg.Name(), p.ID, d, net.Topo.CoordOf(id))
+			}
+			if net.cfg.RequireMinimal && !net.Topo.Profitable(id, p.Dst).Has(d) {
+				return dst, drops, fmt.Errorf("sim: %s scheduled non-minimal move of packet %d: %v -> %v toward %v",
+					alg.Name(), p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(nb), net.Topo.CoordOf(p.Dst))
+			}
+			if !net.cfg.RequireMinimal && net.cfg.MaxStray > 0 && !net.withinStray(p, nb) {
+				return dst, drops, fmt.Errorf("sim: %s moved packet %d more than %d beyond its source-destination rectangle",
+					alg.Name(), p.ID, net.cfg.MaxStray)
+			}
+			// A legal move onto a failed link is silently dropped: the
+			// packet stays put and may retry (or detour) next step.
+			if net.hasFaults && !net.LinkUp(id, d) {
+				drops++
+				continue
+			}
+			dst = append(dst, Move{P: p, From: id, To: nb, Travel: d})
+		}
+	}
+	return dst, drops, nil
+}
+
+// workerClones returns the per-worker algorithm clones for the configured
+// worker count, or nil when the step must run serially (Workers <= 1, or the
+// algorithm does not implement ParallelCloner). Clones are cached across
+// steps, keyed by the algorithm's name.
+func (net *Network) workerClones(alg Algorithm) []Algorithm {
+	w := net.cfg.Workers
+	if w <= 1 {
+		return nil
+	}
+	pc, ok := alg.(ParallelCloner)
+	if !ok {
+		return nil
+	}
+	if net.parName != alg.Name() || len(net.parClones) != w {
+		net.parClones = net.parClones[:0]
+		for i := 0; i < w; i++ {
+			net.parClones = append(net.parClones, pc.CloneForWorker())
+		}
+		net.parName = alg.Name()
+		net.wmoves = make([][]Move, w)
+		net.wdrops = make([]int, w)
+		net.werrs = make([]error, w)
+	}
+	return net.parClones
+}
+
+// bumpStamp advances the epoch stamp that validates the offMark/sendMark
+// node arrays, clearing them only on the (astronomically rare) wraparound.
+func (s *stepScratch) bumpStamp() {
+	s.stamp++
+	if s.stamp == math.MaxInt32 {
+		for i := range s.offMark {
+			s.offMark[i] = 0
+			s.sendMark[i] = 0
+		}
+		s.stamp = 1
+	}
 }
 
 // withinStray reports whether node nb lies within the packet's
@@ -299,22 +480,6 @@ func (net *Network) withinStray(p *Packet, nb grid.NodeID) bool {
 	}
 	m := net.cfg.MaxStray
 	return c.X >= loX-m && c.X <= hiX+m && c.Y >= loY-m && c.Y <= hiY+m
-}
-
-// findHolder verifies that packet p is resident at the sender implied by the
-// arrival (the node on the opposite side of the travel direction).
-func (net *Network) findHolder(p *Packet, to grid.NodeID, travel grid.Dir) *Node {
-	src, ok := net.Topo.Neighbor(to, travel.Opposite())
-	if !ok {
-		return nil
-	}
-	node := &net.nodes[src]
-	for _, q := range node.Packets {
-		if q == p {
-			return node
-		}
-	}
-	return nil
 }
 
 // injectPending moves due injections into per-node backlogs and drains
