@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchAggregatesCounts(t *testing.T) {
+	p := writeTemp(t, `goos: linux
+BenchmarkStepDense        	   24274	     96960 ns/op	      4096 packets	      33 B/op	       0 allocs/op
+BenchmarkStepDense        	   20000	    102000 ns/op	      4096 packets	      40 B/op	       1 allocs/op
+BenchmarkStepSparse-8     	  265894	      8387 ns/op	     527 B/op	      63 allocs/op
+PASS
+`)
+	rs, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rs["BenchmarkStepDense"]
+	if d == nil || d.runs != 2 {
+		t.Fatalf("dense runs = %+v, want 2 runs", d)
+	}
+	if d.bestNs != 96960 {
+		t.Fatalf("best ns/op = %v, want min of both runs", d.bestNs)
+	}
+	if d.maxAlloc != 1 {
+		t.Fatalf("max allocs = %d, want worst of both runs", d.maxAlloc)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so baselines from
+	// different machines still match by name.
+	if s := rs["BenchmarkStepSparse"]; s == nil || s.bestNs != 8387 || s.maxAlloc != 63 {
+		t.Fatalf("sparse = %+v", s)
+	}
+}
+
+func TestParseBenchIgnoresNonBenchLines(t *testing.T) {
+	p := writeTemp(t, "cpu: Intel\nok  \tmeshroute\t1.0s\n")
+	rs, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("parsed %d results from non-bench output", len(rs))
+	}
+}
