@@ -1,4 +1,4 @@
-package meshroute
+package meshroute_test
 
 // One benchmark per experiment of the reproduction (see DESIGN.md's
 // per-experiment index and EXPERIMENTS.md for recorded results). Each
@@ -13,6 +13,8 @@ package meshroute
 import (
 	"testing"
 
+	"meshroute"
+
 	"meshroute/internal/adversary"
 	"meshroute/internal/clt"
 	"meshroute/internal/experiments"
@@ -26,7 +28,7 @@ import (
 // BenchmarkE1LowerBoundMinimalAdaptive builds and replays the Theorem 14
 // construction against the dimension-order router (Ω(n²/k²)).
 func BenchmarkE1LowerBoundMinimalAdaptive(b *testing.B) {
-	spec, _ := LookupRouter(RouterDimOrder)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
 	var bound, undeliv int
 	for i := 0; i < b.N; i++ {
 		c, err := adversary.NewConstruction(120, 1)
@@ -50,7 +52,7 @@ func BenchmarkE1LowerBoundMinimalAdaptive(b *testing.B) {
 // construction against the Theorem 15 router and runs it to completion
 // (lower bound Ω(n²/k), completion Θ(n²/k)).
 func BenchmarkE2LowerBoundDimOrder(b *testing.B) {
-	spec, _ := LookupRouter(RouterThm15)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterThm15)
 	var bound, mk int
 	for i := 0; i < b.N; i++ {
 		c, err := adversary.NewDOConstruction(90, 4*1+1)
@@ -107,7 +109,7 @@ func BenchmarkE4Theorem15Upper(b *testing.B) {
 		if err := workload.Reversal(topo).Place(net); err != nil {
 			b.Fatal(err)
 		}
-		spec, _ := LookupRouter(RouterThm15)
+		spec, _ := meshroute.LookupRouter(meshroute.RouterThm15)
 		if _, err := net.RunPartial(spec.New(), 500*n*n); err != nil || !net.Done() {
 			b.Fatalf("incomplete: %v", err)
 		}
@@ -139,7 +141,7 @@ func BenchmarkE5CLTAlgorithm(b *testing.B) {
 
 // BenchmarkE6LowerBoundHH runs the h-h construction (Ω(h³n²/(k+h)²)).
 func BenchmarkE6LowerBoundHH(b *testing.B) {
-	spec, _ := LookupRouter(RouterDimOrder)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
 	var bound int
 	for i := 0; i < b.N; i++ {
 		c, err := adversary.NewHHConstruction(90, 1, 2)
@@ -157,7 +159,7 @@ func BenchmarkE6LowerBoundHH(b *testing.B) {
 
 // BenchmarkE7Torus embeds the Theorem 14 construction in a torus.
 func BenchmarkE7Torus(b *testing.B) {
-	spec, _ := LookupRouter(RouterDimOrder)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
 	var bound int
 	for i := 0; i < b.N; i++ {
 		par, err := adversary.NewParams(60, 1)
@@ -179,7 +181,7 @@ func BenchmarkE7Torus(b *testing.B) {
 func BenchmarkE8AverageCase(b *testing.B) {
 	const n = 64
 	topo := grid.NewSquareMesh(n)
-	spec, _ := LookupRouter(RouterThm15)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterThm15)
 	var mk int
 	for i := 0; i < b.N; i++ {
 		net := sim.MustNew(routers.Thm15Config(topo, 2))
@@ -199,7 +201,7 @@ func BenchmarkE8AverageCase(b *testing.B) {
 // bound with an O(n) schedule.
 func BenchmarkE9EscapeHatches(b *testing.B) {
 	const n, k = 243, 2
-	spec, _ := LookupRouter(RouterDimOrder)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
 	c, err := adversary.NewConstruction(n, k)
 	if err != nil {
 		b.Fatal(err)
@@ -234,7 +236,7 @@ func BenchmarkE10NonminimalDelta(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		alg := func() sim.Algorithm { return NewDexAdapter(routers.StrayDimOrder{Delta: 1}) }
+		alg := func() sim.Algorithm { return meshroute.NewDexAdapter(routers.StrayDimOrder{Delta: 1}) }
 		res, err := c.Run(alg())
 		if err != nil {
 			b.Fatal(err)
@@ -250,8 +252,8 @@ func BenchmarkE10NonminimalDelta(b *testing.B) {
 // BenchmarkE11CrossHardness routes the dimorder-constructed permutation
 // with the zigzag router (the quantifier-order experiment).
 func BenchmarkE11CrossHardness(b *testing.B) {
-	specD, _ := LookupRouter(RouterDimOrder)
-	specZ, _ := LookupRouter(RouterZigZag)
+	specD, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
+	specZ, _ := meshroute.LookupRouter(meshroute.RouterZigZag)
 	c, err := adversary.NewConstruction(120, 2)
 	if err != nil {
 		b.Fatal(err)
@@ -280,7 +282,7 @@ func BenchmarkE11CrossHardness(b *testing.B) {
 // BenchmarkA1ExchangeAblation compares the construction with and without
 // its exchange rules.
 func BenchmarkA1ExchangeAblation(b *testing.B) {
-	spec, _ := LookupRouter(RouterDimOrder)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterDimOrder)
 	var with, without int
 	for i := 0; i < b.N; i++ {
 		c, err := adversary.NewConstruction(120, 2)
@@ -328,7 +330,7 @@ func BenchmarkA2CLTQueueConstant(b *testing.B) {
 // of the bisection knee (the flat-latency regime).
 func BenchmarkE12DynamicLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E12(true); err != nil {
+		if _, err := experiments.E12(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -337,7 +339,7 @@ func BenchmarkE12DynamicLoad(b *testing.B) {
 // BenchmarkE13RandomizedHatch routes the zigzag-constructed permutation
 // with the randomized router (escape hatch 3).
 func BenchmarkE13RandomizedHatch(b *testing.B) {
-	specZ, _ := LookupRouter(RouterZigZag)
+	specZ, _ := meshroute.LookupRouter(meshroute.RouterZigZag)
 	c, err := adversary.NewConstruction(120, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -371,7 +373,7 @@ func BenchmarkE13RandomizedHatch(b *testing.B) {
 // to completion.
 func BenchmarkE14OpenProblem(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E14(true); err != nil {
+		if _, err := experiments.E14(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -382,7 +384,7 @@ func BenchmarkE14OpenProblem(b *testing.B) {
 func BenchmarkEngineStep(b *testing.B) {
 	const n = 64
 	topo := grid.NewSquareMesh(n)
-	spec, _ := LookupRouter(RouterThm15)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterThm15)
 	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	if err := workload.Reversal(topo).Place(net); err != nil {
 		b.Fatal(err)
@@ -412,7 +414,7 @@ func BenchmarkEngineStep(b *testing.B) {
 func BenchmarkEngineStepMetricsSink(b *testing.B) {
 	const n = 64
 	topo := grid.NewSquareMesh(n)
-	spec, _ := LookupRouter(RouterThm15)
+	spec, _ := meshroute.LookupRouter(meshroute.RouterThm15)
 	sink := &obs.Memory{}
 	net := sim.MustNew(routers.Thm15Config(topo, 2))
 	net.SetMetricsSink(sink)
@@ -444,7 +446,7 @@ func BenchmarkEngineStepMetricsSink(b *testing.B) {
 // the shared harness used by cmd/experiments.
 func BenchmarkExperimentHarness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E5(true); err != nil {
+		if _, err := experiments.E5(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,11 +18,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -34,6 +34,7 @@ import (
 	"meshroute/internal/grid"
 	"meshroute/internal/par"
 	"meshroute/internal/routers"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
 	"meshroute/internal/workload"
 )
@@ -101,20 +102,22 @@ func dimOrder() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) }
 func zigzag() sim.Algorithm   { return dex.NewAdapter(routers.ZigZag{}) }
 func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
 
-// permCell routes a permutation with a sim-engine router and reports
-// makespan and peak queue.
-func permCell(cfg sim.Config, alg func() sim.Algorithm, perm *workload.Permutation, budget int) (stats, error) {
-	net := sim.MustNew(cfg)
-	if err := perm.Place(net); err != nil {
+// specCell executes a scenario spec and reports makespan and peak queue;
+// sim-engine cells go through the scenario layer, same as the CLIs and the
+// experiment harness.
+func specCell(s *scenario.Spec, requireDone bool) (stats, error) {
+	var r scenario.Runner
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
 		return stats{}, err
 	}
-	if _, err := net.RunPartial(alg(), budget); err != nil {
-		return stats{}, err
+	if res.Err != nil {
+		return stats{}, res.Err
 	}
-	if !net.Done() {
-		return stats{}, fmt.Errorf("incomplete after %d steps", budget)
+	if requireDone && !res.Stats.Done {
+		return stats{}, fmt.Errorf("incomplete after %d steps", res.Steps)
 	}
-	return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+	return stats{steps: res.Steps, makespan: res.Stats.Makespan, peakQueue: res.Stats.MaxQueue}, nil
 }
 
 func cells() []cell {
@@ -163,8 +166,11 @@ func cells() []cell {
 			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
 		}},
 		{"E4", "thm15-reversal-n32-k1", func() (stats, error) {
-			topo := grid.NewSquareMesh(32)
-			return permCell(routers.Thm15Config(topo, 1), thm15, workload.Reversal(topo), 500*32*32)
+			return specCell(&scenario.Spec{
+				N: 32, K: 1, Router: "thm15",
+				Workload: scenario.Workload{Kind: scenario.KindReversal},
+				MaxSteps: 500 * 32 * 32,
+			}, true)
 		}},
 		{"E5", "clt-random-n27", func() (stats, error) {
 			r, err := clt.New(clt.Config{N: 27})
@@ -201,8 +207,11 @@ func cells() []cell {
 			return stats{steps: res.Steps, makespan: res.Steps, peakQueue: res.Net.Metrics.MaxQueueLen}, nil
 		}},
 		{"E8", "thm15-random-n32-k2", func() (stats, error) {
-			topo := grid.NewSquareMesh(32)
-			return permCell(routers.Thm15Config(topo, 2), thm15, workload.Random(topo, 3), 500*32)
+			return specCell(&scenario.Spec{
+				N: 32, K: 2, Router: "thm15",
+				Workload: scenario.Workload{Kind: scenario.KindRandom, Seed: 3},
+				MaxSteps: 500 * 32,
+			}, true)
 		}},
 		{"E9", "clt-on-constructed-perm-n81", func() (stats, error) {
 			c, err := adversary.NewConstruction(81, 1)
@@ -243,35 +252,24 @@ func cells() []cell {
 			if err != nil {
 				return stats{}, err
 			}
-			net := sim.MustNew(sim.Config{Topo: grid.NewSquareMesh(120), K: 2, Queues: sim.CentralQueue, RequireMinimal: true})
-			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
-				return stats{}, err
-			}
-			if _, err := net.RunPartial(zigzag(), 40*res.Steps); err != nil {
-				return stats{}, err
-			}
-			return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+			// CheckInvariants stays off: this is a timing cell, and the
+			// pre-scenario code ran without the checker.
+			return specCell(&scenario.Spec{
+				N: 120, K: 2, Router: "zigzag",
+				CheckInvariants: scenario.Bool(false),
+				Workload:        scenario.Workload{Kind: scenario.KindPairs, Pairs: res.Permutation},
+				MaxSteps:        40 * res.Steps,
+			}, false)
 		}},
 		{"E12", "dynamic-thm15-n32-k2-load0.6", func() (stats, error) {
-			const n, horizon = 32, 16 * 32
-			topo := grid.NewSquareMesh(n)
-			net := sim.MustNew(routers.Thm15Config(topo, 2))
-			lambda := 0.6 * 4 / float64(n)
-			rng := rand.New(rand.NewSource(7))
-			for step := 1; step <= horizon; step++ {
-				for id := 0; id < n*n; id++ {
-					if rng.Float64() < lambda {
-						net.QueueInjection(net.NewPacket(grid.NodeID(id), grid.NodeID(rng.Intn(n*n))), step)
-					}
-				}
-			}
-			alg := thm15()
-			for step := 0; step < horizon; step++ {
-				if err := net.StepOnce(alg); err != nil {
-					return stats{}, err
-				}
-			}
-			return stats{steps: horizon, makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+			const n = 32
+			return specCell(&scenario.Spec{
+				N: n, K: 2, Router: "thm15",
+				Workload: scenario.Workload{
+					Kind: scenario.KindBernoulli, Seed: 7,
+					Rate: 0.6 * 4 / float64(n), Horizon: 16 * n,
+				},
+			}, false)
 		}},
 		{"E13", "randomized-on-zigzag-perm-n120-k4-seed1", func() (stats, error) {
 			c, err := adversary.NewConstruction(120, 1)
@@ -282,14 +280,12 @@ func cells() []cell {
 			if err != nil {
 				return stats{}, err
 			}
-			net := sim.MustNew(sim.Config{Topo: grid.NewSquareMesh(120), K: 4, Queues: sim.CentralQueue, RequireMinimal: true})
-			if err := (&workload.Permutation{Pairs: res.Permutation}).Place(net); err != nil {
-				return stats{}, err
-			}
-			if _, err := net.RunPartial(routers.RandZigZag{Seed: 1}, 40*res.Steps); err != nil {
-				return stats{}, err
-			}
-			return stats{steps: net.Step(), makespan: net.Metrics.Makespan, peakQueue: net.Metrics.MaxQueueLen}, nil
+			return specCell(&scenario.Spec{
+				N: 120, K: 4, Router: "rand-zigzag", Seed: 1,
+				CheckInvariants: scenario.Bool(false),
+				Workload:        scenario.Workload{Kind: scenario.KindPairs, Pairs: res.Permutation},
+				MaxSteps:        40 * res.Steps,
+			}, false)
 		}},
 		{"E14", "openproblem-zigzag-own-perm-n120-k2-completion", func() (stats, error) {
 			c, err := adversary.NewConstruction(120, 2)

@@ -15,14 +15,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"meshroute/internal/experiments"
@@ -32,9 +35,16 @@ func main() {
 	full := flag.Bool("full", false, "run the full (slow) parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5,A2)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <id>.csv into this directory")
+	workers := flag.Int("workers", 0, "parallel sweep fan-out (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the sweeps between simulation steps; each
+	// experiment returns the rows it completed with an "interrupted"
+	// note instead of discarding the partial table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var cpuOut *os.File
 	if *cpuprofile != "" {
@@ -48,7 +58,7 @@ func main() {
 		cpuOut = f
 	}
 
-	err := runAll(*full, *only, *csvDir)
+	err := runAll(experiments.Options{Quick: !*full, Workers: *workers, Ctx: ctx}, *only, *csvDir)
 
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
@@ -80,7 +90,7 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
-func runAll(full bool, only, csvDir string) error {
+func runAll(opts experiments.Options, only, csvDir string) error {
 	want := map[string]bool{}
 	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -95,7 +105,7 @@ func runAll(full bool, only, csvDir string) error {
 
 	type entry struct {
 		id string
-		fn func(bool) (*experiments.Report, error)
+		fn func(experiments.Options) (*experiments.Report, error)
 	}
 	all := []entry{
 		{"E1", experiments.E1}, {"E2", experiments.E2}, {"E3", experiments.E3},
@@ -105,13 +115,12 @@ func runAll(full bool, only, csvDir string) error {
 		{"E15", experiments.E15},
 		{"A1", experiments.A1}, {"A2", experiments.A2},
 	}
-	quick := !full
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		start := time.Now()
-		rep, err := e.fn(quick)
+		rep, err := e.fn(opts)
 		if err != nil {
 			return fmt.Errorf("%s failed: %w", e.id, err)
 		}
@@ -131,6 +140,10 @@ func runAll(full bool, only, csvDir string) error {
 				return err
 			}
 			fmt.Printf("   (table written to %s)\n\n", path)
+		}
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted — remaining experiments skipped")
+			return nil
 		}
 	}
 	return nil

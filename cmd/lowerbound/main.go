@@ -12,9 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"meshroute"
 	"meshroute/internal/adversary"
@@ -35,6 +40,9 @@ func main() {
 		capMul   = flag.Int("cap", 40, "completion step cap as a multiple of the bound")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec, err := meshroute.LookupRouter(*router)
 	if err != nil {
@@ -130,11 +138,20 @@ func main() {
 	fmt.Println("  replay: Lemma 12 configuration equivalence OK, packets still undelivered OK")
 
 	if *complete {
+		// The completion replay can run for cap × bound steps, so it honors
+		// SIGINT: an interrupt stops between steps and reports the partial
+		// progress instead of discarding the construction.
 		cap := *capMul * res.Steps
-		mk, done, err := adversary.RunToCompletion(net, spec.New(), cap)
+		_, err := net.RunPartialContext(ctx, spec.New(), cap-net.Step())
+		var cerr *sim.CanceledError
+		if errors.As(err, &cerr) {
+			fmt.Printf("  completion: interrupted at step %d — %s\n", net.Step(), cerr.Diag)
+			os.Exit(1)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
+		mk, done := net.Metrics.Makespan, net.Done()
 		if done {
 			fmt.Printf("  completion: %d steps (%.1f× the bound)\n", mk, float64(mk)/float64(res.Steps))
 		} else {

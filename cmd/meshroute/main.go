@@ -7,6 +7,17 @@
 //	meshroute -router clt -n 81 -workload random -seed 7
 //	meshroute -router dimorder -n 32 -k 4 -workload hh -h 2 -torus
 //
+// Runs are described by scenario specs (internal/scenario): the flags
+// build one, -dump-scenario prints it, and -scenario replays a committed
+// spec file, so any run — including every pinned golden-digest scenario
+// under testdata/scenarios/ — is reproducible from a single JSON file:
+//
+//	meshroute -scenario testdata/scenarios/thm15-n16-k2.json
+//	meshroute -router zigzag -n 24 -workload reversal -dump-scenario > run.json
+//
+// Interrupting a run (SIGINT/SIGTERM) stops it between steps and prints
+// the partial statistics and diagnostics instead of discarding them.
+//
 // Observability (see docs/OBSERVABILITY.md):
 //
 //	meshroute -router thm15 -n 64 -workload reversal -metrics-out run.jsonl
@@ -15,16 +26,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"meshroute"
 	"meshroute/internal/clt"
 	"meshroute/internal/obs"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
 	"meshroute/internal/trace"
 	"meshroute/internal/viz"
@@ -32,20 +48,24 @@ import (
 
 func main() {
 	var (
-		router     = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
-		n          = flag.Int("n", 32, "mesh side length")
-		k          = flag.Int("k", 2, "queue capacity per queue")
-		wl         = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		h          = flag.Int("h", 2, "h for the h-h workload")
-		torus      = flag.Bool("torus", false, "use a torus instead of a mesh")
-		maxSteps   = flag.Int("steps", 0, "step budget (0 = automatic)")
-		improved   = flag.Bool("improved-q", false, "clt: use the 564n constant")
-		showViz    = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
-		traceFile  = flag.String("trace", "", "write a JSON-lines step trace to this file")
-		metricsOut = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		router       = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
+		n            = flag.Int("n", 32, "mesh side length")
+		k            = flag.Int("k", 2, "queue capacity per queue")
+		wl           = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		h            = flag.Int("h", 2, "h for the h-h workload")
+		torus        = flag.Bool("torus", false, "use a torus instead of a mesh")
+		maxSteps     = flag.Int("steps", 0, "step budget (0 = automatic)")
+		improved     = flag.Bool("improved-q", false, "clt: use the 564n constant")
+		showViz      = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
+		traceFile    = flag.String("trace", "", "write a JSON-lines step trace to this file")
+		metricsOut   = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		scenarioFile = flag.String("scenario", "", "run this scenario spec file instead of building one from the flags")
+		dumpScenario = flag.Bool("dump-scenario", false, "print the run's scenario spec as JSON and exit without running")
+		routerSeed   = flag.Uint64("router-seed", 0, "seed for a randomized router's decisions (rand-zigzag; 0 = default stream)")
+		workers      = flag.Int("workers", 0, "engine worker count for intra-step parallel scheduling (0 = serial)")
 
 		faultSeed   = flag.Int64("fault-seed", 1, "fault schedule seed")
 		faultLinks  = flag.Int("fault-links", 0, "number of link-failure episodes to inject (0 = no link faults)")
@@ -59,11 +79,8 @@ func main() {
 	)
 	flag.Parse()
 
-	fopts := faultOpts{
-		seed: *faultSeed, links: *faultLinks, down: *faultDown, perm: *faultPerm,
-		stalls: *faultStalls, stall: *faultStall, horizon: *faultHoriz,
-		aware: *faultAware, watchdog: *watchdog,
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var cpuOut *os.File
 	if *cpuprofile != "" {
@@ -76,7 +93,16 @@ func main() {
 		}
 		cpuOut = f
 	}
-	err := run(*router, *n, *k, *wl, *seed, *h, *torus, *maxSteps, *improved, *showViz, *traceFile, *metricsOut, fopts)
+	err := run(ctx, cliOptions{
+		router: *router, n: *n, k: *k, wl: *wl, seed: *seed, h: *h, torus: *torus,
+		maxSteps: *maxSteps, improved: *improved, showViz: *showViz,
+		traceFile: *traceFile, metricsOut: *metricsOut,
+		scenarioFile: *scenarioFile, dumpScenario: *dumpScenario,
+		routerSeed: *routerSeed, workers: *workers,
+		faultSeed: *faultSeed, faultLinks: *faultLinks, faultDown: *faultDown,
+		faultPerm: *faultPerm, faultStalls: *faultStalls, faultStall: *faultStall,
+		faultHoriz: *faultHoriz, faultAware: *faultAware, watchdog: *watchdog,
+	})
 	if cpuOut != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuOut.Close(); cerr != nil && err == nil {
@@ -108,218 +134,156 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
-// faultOpts carries the -fault-* and -watchdog flag values.
-type faultOpts struct {
-	seed          int64
-	links, stalls int
-	down, stall   int
-	horizon       int
-	perm          float64
-	aware         bool
-	watchdog      int
+// cliOptions carries the parsed flag values.
+type cliOptions struct {
+	router                  string
+	n, k                    int
+	wl                      string
+	seed                    int64
+	h                       int
+	torus                   bool
+	maxSteps                int
+	improved, showViz       bool
+	traceFile, metricsOut   string
+	scenarioFile            string
+	dumpScenario            bool
+	routerSeed              uint64
+	workers                 int
+	faultSeed               int64
+	faultLinks, faultStalls int
+	faultDown, faultStall   int
+	faultHoriz              int
+	faultPerm               float64
+	faultAware              bool
+	watchdog                int
 }
 
-// schedule builds the fault schedule from the flags, or nil when no faults
-// were requested. Onsets must land while traffic is still in flight to
-// matter, so the default horizon is the delivery timescale (4n covers the
-// ~2n–3n makespan of permutation workloads), not the step budget.
-func (o faultOpts) schedule(topo meshroute.Topology, n int) (*meshroute.FaultSchedule, error) {
-	if o.links == 0 && o.stalls == 0 {
-		return nil, nil
+// spec assembles the scenario described by the flags.
+func (o cliOptions) spec() (*scenario.Spec, error) {
+	s := &scenario.Spec{
+		N:          o.n,
+		K:          o.k,
+		Router:     o.router,
+		FaultAware: o.faultAware,
+		Seed:       o.routerSeed,
+		Watchdog:   o.watchdog,
+		Workers:    o.workers,
+		MaxSteps:   o.maxSteps,
+		MetricsOut: o.metricsOut,
+		TraceOut:   o.traceFile,
 	}
-	horizon := o.horizon
-	if horizon <= 0 {
-		horizon = 4 * n
+	if o.torus {
+		s.Topology = scenario.TopoTorus
 	}
-	return meshroute.GenerateFaults(topo, meshroute.FaultConfig{
-		Seed:          o.seed,
-		Horizon:       horizon,
-		LinkFailures:  o.links,
-		MeanDownSteps: o.down,
-		PermanentFrac: o.perm,
-		NodeStalls:    o.stalls,
-		MeanStallSteps: o.stall,
-	})
-}
-
-func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxSteps int, improved, showViz bool, traceFile, metricsOut string, fopts faultOpts) error {
-	var topo meshroute.Topology
-	if torus {
-		topo = meshroute.NewTorus(n)
-	} else {
-		topo = meshroute.NewMesh(n)
-	}
-
-	var perm *meshroute.Permutation
-	switch wl {
-	case "random":
-		perm = meshroute.RandomPermutation(topo, seed)
-	case "random-dest":
-		perm = meshroute.RandomDestinations(topo, seed)
-	case "transpose":
-		perm = meshroute.Transpose(topo)
-	case "reversal":
-		perm = meshroute.Reversal(topo)
-	case "bitrev":
-		perm = meshroute.BitReversal(topo)
-	case "rotation":
-		perm = meshroute.Rotation(topo, n/3, n/5)
-	case "hh":
-		hh := meshroute.RandomHH(topo, h, seed)
-		perm = &meshroute.Permutation{Pairs: hh.Pairs}
+	switch o.wl {
+	case scenario.KindRandom, scenario.KindRandomDest:
+		s.Workload = scenario.Workload{Kind: o.wl, Seed: o.seed}
+	case scenario.KindTranspose, scenario.KindReversal, scenario.KindBitRev:
+		s.Workload = scenario.Workload{Kind: o.wl}
+	case scenario.KindRotation:
+		s.Workload = scenario.Workload{Kind: o.wl, DX: o.n / 3, DY: o.n / 5}
+	case scenario.KindHH:
+		s.Workload = scenario.Workload{Kind: o.wl, H: o.h, Seed: o.seed}
 	default:
-		return fmt.Errorf("unknown workload %q", wl)
+		return nil, fmt.Errorf("unknown workload %q", o.wl)
+	}
+	if o.faultLinks > 0 || o.faultStalls > 0 {
+		// Onsets must land while traffic is still in flight to matter, so
+		// the default horizon is the delivery timescale (4n covers the
+		// ~2n–3n makespan of permutation workloads), not the step budget.
+		horizon := o.faultHoriz
+		if horizon <= 0 {
+			horizon = 4 * o.n
+		}
+		s.Faults = &scenario.Faults{
+			Seed:           o.faultSeed,
+			Horizon:        horizon,
+			LinkFailures:   o.faultLinks,
+			MeanDownSteps:  o.faultDown,
+			PermanentFrac:  o.faultPerm,
+			NodeStalls:     o.faultStalls,
+			MeanStallSteps: o.faultStall,
+		}
+	}
+	return s, nil
+}
+
+func run(ctx context.Context, o cliOptions) error {
+	if o.router == "clt" && o.scenarioFile == "" && !o.dumpScenario {
+		return runCLT(o)
 	}
 
-	// The metrics sink (nil unless -metrics-out is given) receives
-	// per-step samples from the engine, or phase spans from clt.
-	var sink *obs.JSONL
-	var sinkOut *os.File
-	if metricsOut != "" {
-		f, err := os.Create(metricsOut)
+	var spec *scenario.Spec
+	var err error
+	if o.scenarioFile != "" {
+		spec, err = scenario.Load(o.scenarioFile)
 		if err != nil {
 			return err
 		}
-		sinkOut = f
-		sink = obs.NewJSONL(f)
+		// Presentation and output flags still apply to a loaded scenario.
+		if o.metricsOut != "" {
+			spec.MetricsOut = o.metricsOut
+		}
+		if o.traceFile != "" {
+			spec.TraceOut = o.traceFile
+		}
+	} else {
+		spec, err = o.spec()
+		if err != nil {
+			return err
+		}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
 	}
-	closeSink := func() error {
-		if sink == nil {
-			return nil
+	if o.dumpScenario {
+		return spec.Write(os.Stdout)
+	}
+	return runScenario(ctx, spec, o.showViz)
+}
+
+// runScenario executes one spec through the Runner and prints statistics —
+// full on success, partial with diagnostics when the run aborts.
+func runScenario(ctx context.Context, spec *scenario.Spec, showViz bool) error {
+	run, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	if run.Faults != nil {
+		fmt.Printf("faults: %s (seed %d)\n", run.Faults, spec.Faults.Seed)
+	}
+	r := scenario.Runner{}
+	if showViz {
+		snapshotAt := spec.N / 2 // mid-flight occupancy
+		r.StepHook = func(net *sim.Network, step int) {
+			if step == snapshotAt {
+				fmt.Printf("occupancy after %d steps:\n%s\n", snapshotAt, viz.Occupancy(net))
+			}
 		}
-		if err := sink.Close(); err != nil {
-			return err
-		}
-		if err := sinkOut.Close(); err != nil {
-			return err
-		}
+	}
+	res, err := r.RunBuilt(ctx, run)
+	if err != nil {
+		return err
+	}
+	if spec.TraceOut != "" {
+		fmt.Printf("trace: %d steps written to %s\n", res.Steps, spec.TraceOut)
+	}
+	if spec.MetricsOut != "" {
 		fmt.Printf("metrics: %d step samples, %d spans written to %s\n",
-			sink.StepCount(), sink.SpanCount(), metricsOut)
-		return nil
+			res.StepSamples, res.Spans, spec.MetricsOut)
 	}
-
-	if router == "clt" {
-		if torus {
-			return fmt.Errorf("the Section 6 algorithm targets the mesh")
+	if res.Err != nil {
+		var cerr *sim.CanceledError
+		if errors.As(res.Err, &cerr) {
+			fmt.Printf("interrupted at step %d — partial results:\n", res.Net.Step())
 		}
-		cfg := clt.Config{N: n, ImprovedQ: improved}
-		if sink != nil {
-			cfg.Sink = sink
-		}
-		r, err := clt.New(cfg)
-		if err != nil {
-			return err
-		}
-		res, err := r.Route(perm)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("clt (Section 6, Theorem 34) on %d×%d, %d packets\n", n, n, res.Packets)
-		fmt.Printf("  synchronized schedule: %d steps (%.1f·n; bound %d·n)\n",
-			res.TimeFormula, float64(res.TimeFormula)/float64(n), map[bool]int{false: 972, true: 564}[improved])
-		fmt.Printf("  measured work steps:   %d\n", res.TimeMeasured)
-		fmt.Printf("  peak node occupancy:   %d (bound 834)\n", res.MaxQueue)
-		fmt.Printf("  base case steps:       %d, tile iterations: %d\n", res.BaseCaseSteps, res.Iterations)
-		return closeSink()
+		printStats(spec.Router, spec.N, spec.K, res.Stats)
+		fmt.Printf("diagnostics: %s\n", res.Net.CollectDiagnostics())
+		return res.Err
 	}
-
-	budget := maxSteps
-	if budget <= 0 {
-		budget = 200 * (n*n/k + 2*n)
-	}
-	faults, err := fopts.schedule(topo, n)
-	if err != nil {
-		return err
-	}
-	if faults != nil {
-		fmt.Printf("faults: %s (seed %d)\n", faults, fopts.seed)
-	}
-
-	if !showViz && traceFile == "" && sink == nil {
-		st, err := meshroute.RouteWithOptions(router, topo, k, perm, meshroute.RouteOptions{
-			MaxSteps: budget, Faults: faults, FaultAware: fopts.aware, Watchdog: fopts.watchdog,
-		})
-		if err != nil {
-			return err
-		}
-		printStats(router, n, k, st)
-		return nil
-	}
-
-	// Instrumented run: metrics sink, viz snapshots and/or trace recording.
-	spec, err := meshroute.LookupRouter(router)
-	if err != nil {
-		return err
-	}
-	cfg := spec.Config(topo, k)
-	cfg.Faults = faults
-	cfg.Watchdog = fopts.watchdog
-	net, err := sim.New(cfg)
-	if err != nil {
-		return err
-	}
-	if err := perm.Place(net); err != nil {
-		return err
-	}
-	if sink != nil {
-		net.SetMetricsSink(sink)
-	}
-	var rec *trace.Recorder
-	var traceOut *os.File
-	if traceFile != "" {
-		traceOut, err = os.Create(traceFile)
-		if err != nil {
-			return err
-		}
-		rec = trace.NewRecorder(traceOut)
-		rec.Attach(net)
-	}
-	newAlg := spec.New
-	if fopts.aware {
-		if spec.NewFaultAware == nil {
-			return fmt.Errorf("router %q has no fault-aware variant", router)
-		}
-		newAlg = spec.NewFaultAware
-	}
-	alg := newAlg()
-	snapshotAt := n / 2 // mid-flight occupancy
-	lastProg, lastCount := 0, 0
-	for !net.Done() && net.Step() < budget {
-		if err := net.StepOnce(alg); err != nil {
-			return err
-		}
-		if c := net.DeliveredCount(); c > lastCount {
-			lastCount, lastProg = c, net.Step()
-		}
-		if w := fopts.watchdog; w > 0 && net.Step()-lastProg >= w && !net.Done() {
-			return fmt.Errorf("watchdog: no delivery for %d steps (aborted at step %d): %s",
-				w, net.Step(), net.CollectDiagnostics())
-		}
-		if showViz && net.Step() == snapshotAt {
-			fmt.Printf("occupancy after %d steps:\n%s\n", snapshotAt, viz.Occupancy(net))
-		}
-	}
-	if rec != nil {
-		if err := rec.Close(); err != nil {
-			return err
-		}
-		if err := traceOut.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace: %d steps written to %s\n", rec.Steps(), traceFile)
-	}
-	if err := closeSink(); err != nil {
-		return err
-	}
-	st := meshroute.RouteStats{
-		Makespan: net.Metrics.Makespan, Steps: net.Step(), Done: net.Done(),
-		Delivered: net.DeliveredCount(), Total: net.TotalPackets(),
-		MaxQueue: net.Metrics.MaxQueueLen, AvgDelay: net.AvgDelay(),
-		FaultDrops: net.Metrics.FaultDrops,
-	}
-	printStats(router, n, k, st)
-	if showViz && traceFile != "" {
-		f, err := os.Open(traceFile)
+	printStats(spec.Router, spec.N, spec.K, res.Stats)
+	if showViz && spec.TraceOut != "" {
+		f, err := os.Open(spec.TraceOut)
 		if err != nil {
 			return err
 		}
@@ -329,7 +293,76 @@ func run(router string, n, k int, wl string, seed int64, h int, torus bool, maxS
 			return err
 		}
 		a := trace.Analyze(steps)
-		fmt.Printf("\n%s\ndelivery curve:\n%s", viz.LinkTraffic(topo, a), viz.DeliveryCurve(a, 8))
+		fmt.Printf("\n%s\ndelivery curve:\n%s", viz.LinkTraffic(run.Net.Topo, a), viz.DeliveryCurve(a, 8))
+	}
+	return nil
+}
+
+// runCLT routes with the Section 6 algorithm, which has its own phase
+// structure and statistics and stays outside the scenario registry.
+func runCLT(o cliOptions) error {
+	if o.torus {
+		return fmt.Errorf("the Section 6 algorithm targets the mesh")
+	}
+	topo := meshroute.NewMesh(o.n)
+	var perm *meshroute.Permutation
+	switch o.wl {
+	case "random":
+		perm = meshroute.RandomPermutation(topo, o.seed)
+	case "random-dest":
+		perm = meshroute.RandomDestinations(topo, o.seed)
+	case "transpose":
+		perm = meshroute.Transpose(topo)
+	case "reversal":
+		perm = meshroute.Reversal(topo)
+	case "bitrev":
+		perm = meshroute.BitReversal(topo)
+	case "rotation":
+		perm = meshroute.Rotation(topo, o.n/3, o.n/5)
+	case "hh":
+		hh := meshroute.RandomHH(topo, o.h, o.seed)
+		perm = &meshroute.Permutation{Pairs: hh.Pairs}
+	default:
+		return fmt.Errorf("unknown workload %q", o.wl)
+	}
+
+	var sink *obs.JSONL
+	var sinkOut *os.File
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		sinkOut = f
+		sink = obs.NewJSONL(f)
+	}
+	cfg := clt.Config{N: o.n, ImprovedQ: o.improved}
+	if sink != nil {
+		cfg.Sink = sink
+	}
+	r, err := clt.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := r.Route(perm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clt (Section 6, Theorem 34) on %d×%d, %d packets\n", o.n, o.n, res.Packets)
+	fmt.Printf("  synchronized schedule: %d steps (%.1f·n; bound %d·n)\n",
+		res.TimeFormula, float64(res.TimeFormula)/float64(o.n), map[bool]int{false: 972, true: 564}[o.improved])
+	fmt.Printf("  measured work steps:   %d\n", res.TimeMeasured)
+	fmt.Printf("  peak node occupancy:   %d (bound 834)\n", res.MaxQueue)
+	fmt.Printf("  base case steps:       %d, tile iterations: %d\n", res.BaseCaseSteps, res.Iterations)
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if err := sinkOut.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d step samples, %d spans written to %s\n",
+			sink.StepCount(), sink.SpanCount(), o.metricsOut)
 	}
 	return nil
 }

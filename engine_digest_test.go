@@ -1,19 +1,19 @@
 package meshroute_test
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
-	"meshroute"
-	"meshroute/internal/fault"
-	"meshroute/internal/grid"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
-	"meshroute/internal/workload"
 )
 
 // The engine-equivalence golden digests: every registry router (including
@@ -24,138 +24,74 @@ import (
 // engine, so any hot-path refactor that changes routing behavior — even by
 // one step on one packet — fails this test.
 //
+// The scenarios themselves are committed spec files under
+// testdata/scenarios/ and are built and executed through the scenario
+// layer, so the digest suite also pins the spec-to-run translation: a
+// change to scenario.Build or the Runner that alters routing behavior
+// fails here exactly like an engine change would.
+//
 // Regenerate (only when a behavior change is intended and understood) with:
 //
 //	go test . -run TestEngineGoldenDigests -update-engine-digests
 var updateDigests = flag.Bool("update-engine-digests", false,
 	"rewrite testdata/engine_digests.json from the current engine")
 
-const digestFile = "testdata/engine_digests.json"
+const (
+	digestFile  = "testdata/engine_digests.json"
+	scenarioDir = "testdata/scenarios"
+)
 
-// digestScenario is one pinned run: it builds the network and workload,
-// runs the algorithm for a fixed step budget, and the harness digests the
-// final packet states.
-type digestScenario struct {
-	name string
-	// run executes the scenario and returns the network for digesting.
-	// Scenarios must be deterministic and must not error.
-	run func(workers int) (*sim.Network, error)
-}
+// undigestedScenarios are committed spec files that the digest suite runs
+// (they must stay loadable and executable) but that have no pinned digest:
+// smoke.json is the CI smoke scenario, sized for speed, not coverage.
+var undigestedScenarios = map[string]bool{"smoke": true}
 
-// routeScenario runs a registry router on a workload with an optional fault
-// schedule, via RunPartial with a fixed budget (some cells intentionally do
-// not complete; the digest covers undelivered packets too).
-func routeScenario(router string, topo grid.Topology, k int, perm *workload.Permutation,
-	faultsCfg *fault.Config, faultAware bool, budget int) digestScenario {
-	name := fmt.Sprintf("%s-n%d-k%d", router, topo.Width(), k)
-	if faultAware {
-		name += "-fa"
+// loadScenarios reads every committed spec file, sorted by name for
+// deterministic subtest order.
+func loadScenarios(t *testing.T) []*scenario.Spec {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if faultsCfg != nil {
-		name += "-faults"
+	if len(paths) == 0 {
+		t.Fatalf("no scenario files in %s", scenarioDir)
 	}
-	return digestScenario{name: name, run: func(workers int) (*sim.Network, error) {
-		spec, err := meshroute.LookupRouter(router)
+	sort.Strings(paths)
+	specs := make([]*scenario.Spec, 0, len(paths))
+	for _, path := range paths {
+		spec, err := scenario.Load(path)
 		if err != nil {
-			return nil, err
+			t.Fatal(err)
 		}
-		cfg := spec.Config(topo, k)
-		if faultsCfg != nil {
-			sched, err := fault.Generate(topo, *faultsCfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Faults = sched
+		if want := strings.TrimSuffix(filepath.Base(path), ".json"); spec.Name != want {
+			t.Fatalf("%s: spec name %q does not match its file name", path, spec.Name)
 		}
-		applyWorkers(&cfg, workers)
-		net, err := sim.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := perm.Place(net); err != nil {
-			return nil, err
-		}
-		newAlg := spec.New
-		if faultAware {
-			if spec.NewFaultAware == nil {
-				return nil, fmt.Errorf("router %q has no fault-aware variant", router)
-			}
-			newAlg = spec.NewFaultAware
-		}
-		if _, err := net.RunPartial(newAlg(), budget); err != nil {
-			return nil, err
-		}
-		return net, nil
-	}}
-}
-
-// dynamicScenario exercises the injection path: a deterministic arithmetic
-// injection pattern (no RNG) over a fixed horizon, so backlog draining and
-// FIFO entry order are part of the pinned behavior.
-func dynamicScenario(router string, n, k, horizon int) digestScenario {
-	return digestScenario{
-		name: fmt.Sprintf("dynamic-%s-n%d-k%d", router, n, k),
-		run: func(workers int) (*sim.Network, error) {
-			spec, err := meshroute.LookupRouter(router)
-			if err != nil {
-				return nil, err
-			}
-			topo := grid.NewSquareMesh(n)
-			cfg := spec.Config(topo, k)
-			applyWorkers(&cfg, workers)
-			net, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			// Bursty deterministic pattern: node id injects at steps
-			// congruent to id mod 7, toward a shifted destination.
-			for step := 1; step <= horizon/2; step++ {
-				for id := 0; id < n*n; id++ {
-					if (id+step)%7 == 0 {
-						dst := grid.NodeID((id*13 + step*29) % (n * n))
-						net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
-					}
-				}
-			}
-			alg := spec.New()
-			for step := 0; step < horizon; step++ {
-				if err := net.StepOnce(alg); err != nil {
-					return nil, err
-				}
-			}
-			return net, nil
-		},
+		specs = append(specs, spec)
 	}
+	return specs
 }
 
-// applyWorkers configures parallel scheduling on the run; workers <= 1
-// leaves the configuration serial.
-func applyWorkers(cfg *sim.Config, workers int) {
-	cfg.Workers = workers
-}
-
-func digestScenarios() []digestScenario {
-	mesh16 := grid.NewSquareMesh(16)
-	mesh12 := grid.NewSquareMesh(12)
-	transpose16 := workload.Transpose(mesh16)
-	random12 := workload.Random(mesh12, 3)
-	// Transient-only faults: permanent cuts under RequireMinimal can make
-	// destinations unreachable, which is a run error, not a digest.
-	transient := &fault.Config{Seed: 11, Horizon: 120, LinkFailures: 25, MeanDownSteps: 6, NodeStalls: 6, MeanStallSteps: 4}
-	return []digestScenario{
-		routeScenario(meshroute.RouterDimOrder, mesh16, 2, transpose16, nil, false, 4000),
-		routeScenario(meshroute.RouterZigZag, mesh16, 2, transpose16, nil, false, 4000),
-		routeScenario(meshroute.RouterThm15, mesh16, 2, workload.Reversal(mesh16), nil, false, 4000),
-		routeScenario(meshroute.RouterThm15, mesh12, 1, random12, nil, false, 4000),
-		routeScenario(meshroute.RouterFarthestFirst, mesh16, 2, transpose16, nil, false, 4000),
-		routeScenario(meshroute.RouterHotPotato, mesh12, 4, random12, nil, false, 4000),
-		routeScenario(meshroute.RouterRandZigZag, mesh16, 4, transpose16, nil, false, 1500),
-		routeScenario(meshroute.RouterStray, mesh16, 2, transpose16, nil, false, 4000),
-		routeScenario(meshroute.RouterZigZag, mesh12, 3, random12, transient, true, 2500),
-		routeScenario(meshroute.RouterRandZigZag, mesh12, 4, random12, transient, true, 1500),
-		dynamicScenario(meshroute.RouterDimOrder, 12, 2, 260),
-		dynamicScenario(meshroute.RouterThm15, 12, 1, 260),
+// runScenario builds and executes one spec with the given engine worker
+// count (0 = serial) and returns the finished network for digesting.
+// Scenarios must be deterministic and must not abort.
+func runScenario(t *testing.T, spec *scenario.Spec, workers int) *sim.Network {
+	t.Helper()
+	s := *spec // the Workers override must not leak across subtests
+	s.Workers = workers
+	run, err := s.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
 	}
+	var r scenario.Runner
+	res, err := r.RunBuilt(context.Background(), run)
+	if err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s: run aborted: %v", spec.Name, res.Err)
+	}
+	return res.Net
 }
 
 // digestNet hashes the per-packet outcome of a finished run: for every
@@ -192,18 +128,17 @@ func loadDigests(t *testing.T) map[string]string {
 	return m
 }
 
-// TestEngineGoldenDigests asserts that every scenario reproduces its pinned
-// pre-refactor digest bit for bit.
+// TestEngineGoldenDigests asserts that every committed scenario reproduces
+// its pinned pre-refactor digest bit for bit.
 func TestEngineGoldenDigests(t *testing.T) {
-	scenarios := digestScenarios()
+	specs := loadScenarios(t)
 	if *updateDigests {
-		out := make(map[string]string, len(scenarios))
-		for _, s := range scenarios {
-			net, err := s.run(0)
-			if err != nil {
-				t.Fatalf("%s: %v", s.name, err)
+		out := make(map[string]string, len(specs))
+		for _, spec := range specs {
+			if undigestedScenarios[spec.Name] {
+				continue
 			}
-			out[s.name] = digestNet(net)
+			out[spec.Name] = digestNet(runScenario(t, spec, 0))
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -219,21 +154,27 @@ func TestEngineGoldenDigests(t *testing.T) {
 		return
 	}
 	pinned := loadDigests(t)
-	if len(pinned) != len(scenarios) {
-		t.Fatalf("pinned %d digests, have %d scenarios", len(pinned), len(scenarios))
+	haveFile := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		haveFile[spec.Name] = true
 	}
-	for _, s := range scenarios {
-		s := s
-		t.Run(s.name, func(t *testing.T) {
-			want, ok := pinned[s.name]
+	for name := range pinned {
+		if !haveFile[name] {
+			t.Fatalf("pinned digest %s has no spec file in %s", name, scenarioDir)
+		}
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want, ok := pinned[spec.Name]
 			if !ok {
-				t.Fatalf("no pinned digest for %s (regenerate with -update-engine-digests)", s.name)
+				if undigestedScenarios[spec.Name] {
+					runScenario(t, spec, 0) // must still execute cleanly
+					return
+				}
+				t.Fatalf("no pinned digest for %s (regenerate with -update-engine-digests)", spec.Name)
 			}
-			net, err := s.run(0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := digestNet(net); got != want {
+			if got := digestNet(runScenario(t, spec, 0)); got != want {
 				t.Fatalf("digest %s != pinned %s: engine behavior changed", got, want)
 			}
 		})
@@ -250,19 +191,19 @@ func TestEngineGoldenDigestsParallel(t *testing.T) {
 		t.Skip("digest update runs serial")
 	}
 	pinned := loadDigests(t)
+	specs := loadScenarios(t)
 	for _, workers := range []int{2, 4} {
-		for _, s := range digestScenarios() {
-			s, workers := s, workers
-			t.Run(fmt.Sprintf("%s-w%d", s.name, workers), func(t *testing.T) {
-				want, ok := pinned[s.name]
+		for _, spec := range specs {
+			if undigestedScenarios[spec.Name] {
+				continue
+			}
+			spec, workers := spec, workers
+			t.Run(fmt.Sprintf("%s-w%d", spec.Name, workers), func(t *testing.T) {
+				want, ok := pinned[spec.Name]
 				if !ok {
-					t.Fatalf("no pinned digest for %s", s.name)
+					t.Fatalf("no pinned digest for %s", spec.Name)
 				}
-				net, err := s.run(workers)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got := digestNet(net); got != want {
+				if got := digestNet(runScenario(t, spec, workers)); got != want {
 					t.Fatalf("workers=%d digest %s != serial pinned %s", workers, got, want)
 				}
 			})

@@ -2,11 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
-	"meshroute/internal/grid"
-	"meshroute/internal/routers"
-	"meshroute/internal/sim"
+	"meshroute"
+	"meshroute/internal/scenario"
 	"meshroute/internal/stats"
 )
 
@@ -23,11 +21,11 @@ import (
 // links gives λ ≤ 8/n; with dimension-order's single path per pair the
 // practical knee sits near 4/n). The experiment shows flat latency below
 // the knee and blow-up above it — the standard router saturation curve.
-func E12(quick bool) (*Report, error) {
+func E12(opts Options) (*Report, error) {
 	n := 32
 	warm := 4 * n
 	horizon := 16 * n
-	if !quick {
+	if !opts.Quick {
 		n = 64
 		horizon = 24 * n
 		warm = 6 * n
@@ -38,28 +36,23 @@ func E12(quick bool) (*Report, error) {
 			n, horizon),
 		Table: stats.NewTable("load λ·n/4", "rate λ", "injected", "delivered", "avg latency", "p. in flight @end"),
 	}
-	topo := grid.NewSquareMesh(n)
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
 		lambda := frac * 4 / float64(n)
-		net := sim.MustNew(routers.Thm15Config(topo, 2))
-		rng := rand.New(rand.NewSource(7))
-		// Pre-schedule the whole injection pattern (deterministic).
-		for step := 1; step <= horizon; step++ {
-			for id := 0; id < n*n; id++ {
-				if rng.Float64() < lambda {
-					dst := grid.NodeID(rng.Intn(n * n))
-					net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
-				}
-			}
+		res, err := opts.runSpec(&scenario.Spec{
+			N: n, K: 2, Router: meshroute.RouterThm15,
+			Workload: scenario.Workload{Kind: scenario.KindBernoulli, Seed: 7, Rate: lambda, Horizon: horizon},
+		})
+		if err != nil {
+			return nil, err
 		}
-		alg := thm15()
+		if res.Canceled() {
+			return interrupted(rep), nil
+		}
+		if res.Err != nil {
+			return nil, res.Err
+		}
 		sumLat, delivered := 0, 0
-		for step := 0; step < horizon; step++ {
-			if err := net.StepOnce(alg); err != nil {
-				return nil, err
-			}
-		}
-		for _, p := range net.Packets() {
+		for _, p := range res.Net.Packets() {
 			if p.Delivered() && p.InjectStep > warm {
 				sumLat += p.DeliverStep - p.InjectStep
 				delivered++
@@ -69,8 +62,8 @@ func E12(quick bool) (*Report, error) {
 		if delivered > 0 {
 			avg = float64(sumLat) / float64(delivered)
 		}
-		inFlight := net.TotalPackets() - net.DeliveredCount()
-		rep.Table.AddRow(frac, fmt.Sprintf("%.4f", lambda), net.TotalPackets(), net.DeliveredCount(), avg, inFlight)
+		inFlight := res.Stats.Total - res.Stats.Delivered
+		rep.Table.AddRow(frac, fmt.Sprintf("%.4f", lambda), res.Stats.Total, res.Stats.Delivered, avg, inFlight)
 	}
 	rep.Notes = append(rep.Notes,
 		"latency is flat well below the bisection knee and grows sharply past it;",

@@ -5,18 +5,63 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"meshroute"
 	"meshroute/internal/adversary"
 	"meshroute/internal/clt"
 	"meshroute/internal/dex"
 	"meshroute/internal/grid"
 	"meshroute/internal/par"
 	"meshroute/internal/routers"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
 	"meshroute/internal/stats"
 	"meshroute/internal/workload"
 )
+
+// Options configures one experiment run. The zero value runs the full
+// (slow) sweep serially-scheduled across all cores with no cancellation.
+type Options struct {
+	// Quick trims the parameter sweeps to CI-sized grids.
+	Quick bool
+	// Workers bounds the cross-cell fan-out of the parallel sweeps
+	// (internal/par); 0 means GOMAXPROCS.
+	Workers int
+	// Ctx cancels a sweep between cells and between engine steps; nil
+	// means context.Background(). A canceled experiment returns its
+	// partial table (marked in the notes) rather than an error.
+	Ctx context.Context
+}
+
+// ctx returns the effective context.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// canceled reports whether the run should stop at the next cell boundary.
+func (o Options) canceled() bool { return o.ctx().Err() != nil }
+
+// interruptedNote marks a report whose sweep stopped early on
+// cancellation; callers print what was measured.
+const interruptedNote = "(interrupted — partial table)"
+
+func interrupted(rep *Report) *Report {
+	rep.Notes = append(rep.Notes, interruptedNote)
+	return rep
+}
+
+// runSpec executes one scenario spec under the experiment's context and
+// returns the run result; every sim-engine cell in this package goes
+// through the scenario layer.
+func (o Options) runSpec(s *scenario.Spec) (*scenario.Result, error) {
+	var r scenario.Runner
+	return r.Run(o.ctx(), s)
+}
 
 // Report is one experiment's output.
 type Report struct {
@@ -45,7 +90,7 @@ func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
 // E1 runs the Theorem 14 construction against the two destination-
 // exchangeable minimal routers and reports the forced lower bound and the
 // measured behavior of the constructed permutation.
-func E1(quick bool) (*Report, error) {
+func E1(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E1",
 		Title: "Theorem 13/14: constructed permutations for minimal adaptive dex routers (bound = ⌊l⌋·d·n)",
@@ -57,7 +102,7 @@ func E1(quick bool) (*Report, error) {
 	}
 	algs := []cfg{{"dimorder", dimOrder}, {"zigzag", zigzag}}
 	ns := []int{60, 120, 216}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{60, 120, 216, 312, 432}
 	}
 	// Every (router, n, k) cell is an independent simulation; sweep on
@@ -83,7 +128,10 @@ func E1(quick bool) (*Report, error) {
 			}
 		}
 	}
-	outs, err := par.Map(len(cells), 0, func(i int) (cellOut, error) {
+	outs, err := par.Map(len(cells), opts.Workers, func(i int) (cellOut, error) {
+		if opts.canceled() {
+			return cellOut{skip: true}, nil
+		}
 		in := cells[i]
 		c, err := adversary.NewConstruction(in.n, in.k)
 		if err != nil {
@@ -126,23 +174,29 @@ func E1(quick bool) (*Report, error) {
 	if _, b, err := stats.PowerFit(xs, ys); err == nil {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("bound scaling vs n at k=1: exponent %.2f (paper: Ω(n²/k²) → 2)", b))
 	}
+	if opts.canceled() {
+		return interrupted(rep), nil
+	}
 	return rep, nil
 }
 
 // E2 runs the Section 5 dimension-order construction and measures the
 // Theorem 15 router's completion time against its Ω(n²/k) bound.
-func E2(quick bool) (*Report, error) {
+func E2(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E2",
 		Title: "Section 5: dimension-order construction, Ω(n²/k) (Theorem 15 router completes in Θ(n²/k))",
 		Table: stats.NewTable("n", "k", "bound", "undeliv@bound", "thm15 completion", "compl/(n²/k)"),
 	}
 	ns := []int{60, 90, 120}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{60, 90, 120, 180, 240}
 	}
 	var xs, ys []float64
 	for _, n := range ns {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		for _, k := range []int{1, 2} {
 			// Attack the Thm15 router: per the Other Queue Types
 			// simulation, its four queues of size k act like a
@@ -183,17 +237,20 @@ func E2(quick bool) (*Report, error) {
 
 // E3 runs the farthest-first construction (the router is NOT destination-
 // exchangeable, yet the bound holds).
-func E3(quick bool) (*Report, error) {
+func E3(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E3",
 		Title: "Section 5: farthest-first dimension-order construction, Ω(n²/k)",
 		Table: stats.NewTable("n", "k", "bound", "undeliv@bound", "exchanges"),
 	}
 	ns := []int{64, 128}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{64, 128, 192, 256}
 	}
 	for _, n := range ns {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		for _, k := range []int{1, 2} {
 			c, err := adversary.NewFFConstruction(n, k)
 			if err != nil {
@@ -215,40 +272,44 @@ func E3(quick bool) (*Report, error) {
 // E4 measures the Theorem 15 router's worst observed makespans across
 // adversarial and structured permutations, checking O(n²/k + n) and the
 // crossover to O(n) when k grows.
-func E4(quick bool) (*Report, error) {
+func E4(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E4",
 		Title: "Theorem 15: bounded-queue dimension order delivers every permutation in O(n²/k + n)",
 		Table: stats.NewTable("n", "k", "workload", "makespan", "makespan/(n²/k+n)", "maxQ"),
 	}
 	ns := []int{32, 64}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{32, 64, 96, 128}
 	}
 	for _, n := range ns {
-		topo := grid.NewSquareMesh(n)
 		for _, k := range []int{1, 2, 4, n / 2} {
-			for _, wl := range []struct {
-				name string
-				perm *workload.Permutation
-			}{
-				{"reversal", workload.Reversal(topo)},
-				{"transpose", workload.Transpose(topo)},
-				{"random", workload.Random(topo, int64(n+k))},
+			if opts.canceled() {
+				return interrupted(rep), nil
+			}
+			for _, wl := range []scenario.Workload{
+				{Kind: scenario.KindReversal},
+				{Kind: scenario.KindTranspose},
+				{Kind: scenario.KindRandom, Seed: int64(n + k)},
 			} {
-				net := sim.MustNew(routers.Thm15Config(topo, k))
-				if err := wl.perm.Place(net); err != nil {
+				res, err := opts.runSpec(&scenario.Spec{
+					N: n, K: k, Router: "thm15", Workload: wl,
+				})
+				if err != nil {
 					return nil, err
 				}
-				if _, err := net.RunPartial(thm15(), 200*(n*n/k+2*n)); err != nil {
-					return nil, err
+				if res.Canceled() {
+					return interrupted(rep), nil
 				}
-				if !net.Done() {
-					return nil, fmt.Errorf("E4: incomplete n=%d k=%d %s", n, k, wl.name)
+				if res.Err != nil {
+					return nil, res.Err
+				}
+				if !res.Stats.Done {
+					return nil, fmt.Errorf("E4: incomplete n=%d k=%d %s", n, k, wl.Kind)
 				}
 				bound := float64(n*n)/float64(k) + float64(n)
-				rep.Table.AddRow(n, k, wl.name, net.Metrics.Makespan,
-					float64(net.Metrics.Makespan)/bound, net.Metrics.MaxQueueLen)
+				rep.Table.AddRow(n, k, wl.Kind, res.Stats.Makespan,
+					float64(res.Stats.Makespan)/bound, res.Stats.MaxQueue)
 			}
 		}
 	}
@@ -258,17 +319,20 @@ func E4(quick bool) (*Report, error) {
 }
 
 // E5 runs the Section 6 algorithm and checks Theorem 34's bounds.
-func E5(quick bool) (*Report, error) {
+func E5(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E5",
 		Title: "Theorem 34: Section 6 O(n)-time O(1)-queue minimal adaptive algorithm",
 		Table: stats.NewTable("n", "workload", "schedule", "schedule/n", "972n?", "measured", "maxQ", "Q<=834?"),
 	}
 	ns := []int{27, 81}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{27, 81, 243}
 	}
 	for _, n := range ns {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		topo := grid.NewSquareMesh(n)
 		for _, wl := range []struct {
 			name string
@@ -297,17 +361,20 @@ func E5(quick bool) (*Report, error) {
 }
 
 // E6 reports the h-h construction bounds, which grow like h³n²/(k+h)².
-func E6(quick bool) (*Report, error) {
+func E6(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E6",
 		Title: "Section 5: h-h routing construction, Ω(h³n²/(k+h)²)",
 		Table: stats.NewTable("n", "k", "h", "bound", "undeliv@bound", "packets"),
 	}
 	n := 60
-	if !quick {
+	if !opts.Quick {
 		n = 120
 	}
 	for _, k := range []int{1, 2} {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		for _, h := range []int{1, 2, 4} {
 			c, err := adversary.NewHHConstruction(n, k, h)
 			if err != nil {
@@ -326,17 +393,20 @@ func E6(quick bool) (*Report, error) {
 
 // E7 embeds the construction in a torus (Section 5): the same Ω(n²/k²)
 // holds on an (n/2)×(n/2) submesh of the n-torus.
-func E7(quick bool) (*Report, error) {
+func E7(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E7",
 		Title: "Section 5: torus embedding of the Theorem 14 construction",
 		Table: stats.NewTable("torus", "submesh", "k", "bound", "undeliv@bound"),
 	}
 	ms := []int{60, 120}
-	if !quick {
+	if !opts.Quick {
 		ms = []int{60, 120, 216}
 	}
 	for _, m := range ms {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		for _, k := range []int{1, 2} {
 			par, err := adversary.NewParams(m, k)
 			if err != nil {
@@ -358,46 +428,51 @@ func E7(quick bool) (*Report, error) {
 
 // E8 frames the worst-case results against the average case (Section 1.1):
 // random traffic routes in about 2n steps with tiny queues.
-func E8(quick bool) (*Report, error) {
+func E8(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E8",
 		Title: "Average case (Section 1.1 framing): random traffic ≈ 2n steps, small queues",
 		Table: stats.NewTable("router", "n", "k", "workload", "makespan", "makespan/n", "maxQ"),
 	}
 	ns := []int{32, 64}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{32, 64, 128}
 	}
 	for _, n := range ns {
-		topo := grid.NewSquareMesh(n)
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		for _, wl := range []struct {
 			name string
-			perm *workload.Permutation
+			wl   scenario.Workload
 		}{
-			{"random-perm", workload.Random(topo, 3)},
-			{"random-dest", workload.RandomDestinations(topo, 3)},
+			{"random-perm", scenario.Workload{Kind: scenario.KindRandom, Seed: 3}},
+			{"random-dest", scenario.Workload{Kind: scenario.KindRandomDest, Seed: 3}},
 		} {
 			for _, rt := range []struct {
-				name string
-				alg  func() sim.Algorithm
-				cfg  sim.Config
+				name   string
+				router string
+				k      int
 			}{
-				{"thm15 k=2", thm15, routers.Thm15Config(topo, 2)},
-				{"dimorder k=4", dimOrder, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
-				{"zigzag k=4", zigzag, sim.Config{Topo: topo, K: 4, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}},
+				{"thm15 k=2", meshroute.RouterThm15, 2},
+				{"dimorder k=4", meshroute.RouterDimOrder, 4},
+				{"zigzag k=4", meshroute.RouterZigZag, 4},
 			} {
-				net := sim.MustNew(rt.cfg)
-				if err := wl.perm.Place(net); err != nil {
+				res, err := opts.runSpec(&scenario.Spec{N: n, K: rt.k, Router: rt.router, Workload: wl.wl, MaxSteps: 500 * n})
+				if err != nil {
 					return nil, err
 				}
-				if _, err := net.RunPartial(rt.alg(), 500*n); err != nil {
-					return nil, err
+				if res.Canceled() {
+					return interrupted(rep), nil
 				}
-				if !net.Done() {
+				if res.Err != nil {
+					return nil, res.Err
+				}
+				if !res.Stats.Done {
 					return nil, fmt.Errorf("E8: %s incomplete on %s n=%d", rt.name, wl.name, n)
 				}
-				rep.Table.AddRow(rt.name, n, rt.cfg.K, wl.name, net.Metrics.Makespan,
-					float64(net.Metrics.Makespan)/float64(n), net.Metrics.MaxQueueLen)
+				rep.Table.AddRow(rt.name, n, rt.k, wl.name, res.Stats.Makespan,
+					float64(res.Stats.Makespan)/float64(n), res.Stats.MaxQueue)
 			}
 		}
 	}
@@ -408,12 +483,15 @@ func E8(quick bool) (*Report, error) {
 // permutation, the destination-exchangeable minimal routers are stuck at
 // the bound, while each of the paper's escape hatches — full destination
 // info (Section 6), nonminimal paths (hot potato) — evades it.
-func E9(quick bool) (*Report, error) {
+func E9(opts Options) (*Report, error) {
 	n, k := 243, 2 // power of 3 so the Section 6 algorithm applies
 	rep := &Report{
 		ID:    "E9",
 		Title: fmt.Sprintf("Section 7: the three escape hatches on the constructed permutation (n=%d, k=%d)", n, k),
 		Table: stats.NewTable("router", "class", "time", "time/bound", "done"),
+	}
+	if opts.canceled() {
+		return interrupted(rep), nil
 	}
 	c, err := adversary.NewConstruction(n, k)
 	if err != nil {
@@ -430,6 +508,9 @@ func E9(quick bool) (*Report, error) {
 	replay, err := c.Replay(res, dimOrder())
 	if err != nil {
 		return nil, err
+	}
+	if opts.canceled() {
+		return interrupted(rep), nil
 	}
 	cap := 40 * bound
 	mk, done, err := adversary.RunToCompletion(replay, dimOrder(), cap)
@@ -479,9 +560,9 @@ func E9(quick bool) (*Report, error) {
 
 // A1 ablates the exchange rules: without them the same initial instance is
 // far easier for the router.
-func A1(quick bool) (*Report, error) {
+func A1(opts Options) (*Report, error) {
 	n, k := 120, 1
-	if !quick {
+	if !opts.Quick {
 		n = 216
 	}
 	rep := &Report{
@@ -513,6 +594,10 @@ func A1(quick bool) (*Report, error) {
 	}
 	rep.Table.AddRow("constructed (exchanges on)", res.Exchanges, res.UndeliveredHard, comp, done)
 
+	if opts.canceled() {
+		return interrupted(rep), nil
+	}
+
 	// Same initial placement, no adversary.
 	c2, err := adversary.NewConstruction(n, k)
 	if err != nil {
@@ -542,17 +627,20 @@ func A1(quick bool) (*Report, error) {
 
 // A2 compares the Section 6 algorithm's schedule constant with q = 408
 // everywhere vs the improved q = 102 for iterations j >= 1.
-func A2(quick bool) (*Report, error) {
+func A2(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "A2",
 		Title: "Ablation: Section 6 March capacity q = 408 vs improved q = 102 (564n variant)",
 		Table: stats.NewTable("n", "q-variant", "schedule", "schedule/n", "maxQ"),
 	}
 	ns := []int{27, 81}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{27, 81, 243}
 	}
 	for _, n := range ns {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		perm := workload.Random(grid.NewSquareMesh(n), 5)
 		for _, improved := range []bool{false, true} {
 			r, err := clt.New(clt.Config{N: n, ImprovedQ: improved})
@@ -574,11 +662,11 @@ func A2(quick bool) (*Report, error) {
 }
 
 // All runs every experiment.
-func All(quick bool) ([]*Report, error) {
-	fns := []func(bool) (*Report, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, A1, A2}
+func All(opts Options) ([]*Report, error) {
+	fns := []func(Options) (*Report, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, A1, A2}
 	var out []*Report
 	for _, fn := range fns {
-		r, err := fn(quick)
+		r, err := fn(opts)
 		if err != nil {
 			return out, err
 		}

@@ -3,18 +3,19 @@ package experiments
 import (
 	"fmt"
 
+	"meshroute"
 	"meshroute/internal/adversary"
 	"meshroute/internal/dex"
 	"meshroute/internal/routers"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
 	"meshroute/internal/stats"
-	"meshroute/internal/workload"
 )
 
 // E10 runs the Section 5 "Nonminimal extensions" construction against a
 // destination-exchangeable router that may stray up to δ beyond the
 // source-destination rectangle (bound Ω(n²/((δ+1)³k²))).
-func E10(quick bool) (*Report, error) {
+func E10(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E10",
 		Title: "Section 5: nonminimal extension — routers straying ≤ δ beyond the rectangle, Ω(n²/((δ+1)³k²))",
@@ -22,10 +23,13 @@ func E10(quick bool) (*Report, error) {
 	}
 	type cfg struct{ n, k, delta int }
 	cfgs := []cfg{{120, 1, 0}, {480, 1, 1}}
-	if !quick {
+	if !opts.Quick {
 		cfgs = append(cfgs, cfg{960, 1, 1}, cfg{1500, 1, 2})
 	}
 	for _, tc := range cfgs {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		c, err := adversary.NewDeltaConstruction(tc.n, tc.k, tc.delta)
 		if err != nil {
 			rep.Table.AddRow(tc.n, tc.k, tc.delta, "-", "-", fmt.Sprintf("(%v)", err))
@@ -52,9 +56,9 @@ func E10(quick bool) (*Report, error) {
 // E11 demonstrates the quantifier order of Theorem 14 — ∀ algorithm
 // ∃ permutation — by cross-routing each router's constructed permutation
 // through the other routers: hardness is algorithm-specific.
-func E11(quick bool) (*Report, error) {
+func E11(opts Options) (*Report, error) {
 	n, k := 120, 2
-	if !quick {
+	if !opts.Quick {
 		n = 216
 	}
 	rep := &Report{
@@ -63,17 +67,18 @@ func E11(quick bool) (*Report, error) {
 		Table: stats.NewTable("perm built for", "routed by", "bound", "completion", "×bound"),
 	}
 	type rt struct {
-		name string
-		alg  func() sim.Algorithm
-		cfg  sim.Config
+		name   string
+		router string
+		alg    func() sim.Algorithm
 	}
-	central := sim.Config{Topo: nil, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
-	_ = central
 	targets := []rt{
-		{"dimorder", dimOrder, sim.Config{}},
-		{"zigzag", zigzag, sim.Config{}},
+		{"dimorder", meshroute.RouterDimOrder, dimOrder},
+		{"zigzag", meshroute.RouterZigZag, zigzag},
 	}
 	for _, builtFor := range targets {
+		if opts.canceled() {
+			return interrupted(rep), nil
+		}
 		c, err := adversary.NewConstruction(n, k)
 		if err != nil {
 			return nil, err
@@ -82,22 +87,22 @@ func E11(quick bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		perm := &workload.Permutation{Pairs: res.Permutation}
+		wl := scenario.Workload{Kind: scenario.KindPairs, Pairs: res.Permutation}
 		cap := 40 * res.Steps
 		for _, router := range targets {
-			net := sim.MustNew(sim.Config{
-				Topo: c.Topo, K: k, Queues: sim.CentralQueue,
-				RequireMinimal: true, CheckInvariants: true,
-			})
-			if err := perm.Place(net); err != nil {
+			rres, err := opts.runSpec(&scenario.Spec{N: n, K: k, Router: router.router, Workload: wl, MaxSteps: cap})
+			if err != nil {
 				return nil, err
 			}
-			if _, err := net.RunPartial(router.alg(), cap); err != nil {
-				return nil, err
+			if rres.Canceled() {
+				return interrupted(rep), nil
 			}
-			comp := fmt.Sprint(net.Metrics.Makespan)
-			ratio := float64(net.Metrics.Makespan) / float64(res.Steps)
-			if !net.Done() {
+			if rres.Err != nil {
+				return nil, rres.Err
+			}
+			comp := fmt.Sprint(rres.Stats.Makespan)
+			ratio := float64(rres.Stats.Makespan) / float64(res.Steps)
+			if !rres.Stats.Done {
 				comp = fmt.Sprintf(">%d", cap)
 				ratio = float64(cap) / float64(res.Steps)
 			}
@@ -105,19 +110,22 @@ func E11(quick bool) (*Report, error) {
 		}
 		// The Theorem 15 router (different queue model, not covered by
 		// this instance's constants) for context.
-		net := sim.MustNew(routers.Thm15Config(c.Topo, k))
-		if err := perm.Place(net); err != nil {
+		tres, err := opts.runSpec(&scenario.Spec{N: n, K: k, Router: meshroute.RouterThm15, Workload: wl, MaxSteps: cap})
+		if err != nil {
 			return nil, err
 		}
-		if _, err := net.RunPartial(thm15(), cap); err != nil {
-			return nil, err
+		if tres.Canceled() {
+			return interrupted(rep), nil
 		}
-		comp := fmt.Sprint(net.Metrics.Makespan)
-		if !net.Done() {
+		if tres.Err != nil {
+			return nil, tres.Err
+		}
+		comp := fmt.Sprint(tres.Stats.Makespan)
+		if !tres.Stats.Done {
 			comp = fmt.Sprintf(">%d", cap)
 		}
 		rep.Table.AddRow(builtFor.name, "thm15 (4 queues)", res.Steps, comp,
-			float64(net.Metrics.Makespan)/float64(res.Steps))
+			float64(tres.Stats.Makespan)/float64(res.Steps))
 	}
 	rep.Notes = append(rep.Notes,
 		"a permutation constructed for router A is guaranteed hard only for A (Theorem 13's quantifiers);",

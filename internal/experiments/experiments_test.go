@@ -10,7 +10,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
-	reps, err := All(true)
+	reps, err := All(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

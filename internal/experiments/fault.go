@@ -4,14 +4,11 @@ import (
 	"errors"
 	"fmt"
 
-	"meshroute/internal/dex"
-	"meshroute/internal/fault"
-	"meshroute/internal/grid"
+	"meshroute"
 	"meshroute/internal/par"
-	"meshroute/internal/routers"
+	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
 	"meshroute/internal/stats"
-	"meshroute/internal/workload"
 )
 
 // E15 measures delivery-time degradation under transient link failures:
@@ -23,7 +20,7 @@ import (
 // reported as delivered-fraction + mean makespan over the completed
 // seeds. The fault model and the event stream it replays deterministically
 // are documented in docs/ROBUSTNESS.md.
-func E15(quick bool) (*Report, error) {
+func E15(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:    "E15",
 		Title: "Fault degradation: dimension order vs fault-aware adaptive under transient link failures",
@@ -33,21 +30,21 @@ func E15(quick bool) (*Report, error) {
 	n := 24
 	seeds := []int64{11, 12, 13}
 	failureLevels := []int{0, 8, 16, 32, 64}
-	if !quick {
+	if !opts.Quick {
 		n = 32
 		seeds = []int64{11, 12, 13, 14, 15}
 		failureLevels = []int{0, 8, 16, 32, 64, 128}
 	}
-	topo := grid.NewSquareMesh(n)
 	budget := 40 * (n*n/k + 2*n)
 
 	type family struct {
-		name string
-		alg  func() sim.Algorithm
+		name       string
+		router     string
+		faultAware bool
 	}
 	families := []family{
-		{"dimorder", func() sim.Algorithm { return dex.NewAdapter(routers.DimOrderFIFO{}) }},
-		{"zigzag-fa", func() sim.Algorithm { return dex.NewAdapter(routers.ZigZag{FaultAware: true}) }},
+		{"dimorder", meshroute.RouterDimOrder, false},
+		{"zigzag-fa", meshroute.RouterZigZag, true},
 	}
 
 	type cellIn struct {
@@ -64,42 +61,47 @@ func E15(quick bool) (*Report, error) {
 		done     int
 		makespan float64
 		drops    int
+		skip     bool
 	}
-	outs, err := par.Map(len(cells), 0, func(i int) (cellOut, error) {
+	outs, err := par.Map(len(cells), opts.Workers, func(i int) (cellOut, error) {
 		in := cells[i]
 		var out cellOut
 		sum, completed := 0, 0
 		for _, seed := range seeds {
+			if opts.canceled() {
+				return cellOut{skip: true}, nil
+			}
 			// Onsets are drawn inside the fault-free delivery window
 			// (makespan ≈ 2n for random permutations), so the failures
 			// actually intersect the traffic instead of landing on a
-			// drained network.
-			sched, err := fault.Generate(topo, fault.Config{
-				Seed: seed, Horizon: 2 * n,
-				LinkFailures: in.failures, MeanDownSteps: n,
+			// drained network. Timing cells: the invariant checker
+			// stays off so the watchdog, not the checker, bounds
+			// wedged runs.
+			res, err := opts.runSpec(&scenario.Spec{
+				N: n, K: k, Router: in.fam.router, FaultAware: in.fam.faultAware,
+				CheckInvariants: scenario.Bool(false),
+				Workload:        scenario.Workload{Kind: scenario.KindRandom, Seed: seed},
+				Faults: &scenario.Faults{
+					Seed: seed, Horizon: 2 * n,
+					LinkFailures: in.failures, MeanDownSteps: n,
+				},
+				Watchdog: 20 * n * n,
+				MaxSteps: budget,
 			})
 			if err != nil {
 				return out, err
 			}
-			net, err := sim.New(sim.Config{
-				Topo: topo, K: k, Queues: sim.CentralQueue,
-				RequireMinimal: true, Faults: sched, Watchdog: 20 * n * n,
-			})
-			if err != nil {
-				return out, err
+			if res.Canceled() {
+				return cellOut{skip: true}, nil
 			}
-			if err := workload.Random(topo, seed).Place(net); err != nil {
-				return out, err
-			}
-			_, err = net.RunPartial(in.fam.alg(), budget)
 			var le *sim.LivelockError
-			if err != nil && !errors.As(err, &le) {
-				return out, fmt.Errorf("E15 %s failures=%d seed=%d: %w", in.fam.name, in.failures, seed, err)
+			if res.Err != nil && !errors.As(res.Err, &le) {
+				return out, fmt.Errorf("E15 %s failures=%d seed=%d: %w", in.fam.name, in.failures, seed, res.Err)
 			}
-			out.drops += net.Metrics.FaultDrops
-			if net.Done() {
+			out.drops += res.Stats.FaultDrops
+			if res.Stats.Done {
 				completed++
-				sum += net.Metrics.Makespan
+				sum += res.Stats.Makespan
 			}
 		}
 		out.done = completed
@@ -110,6 +112,11 @@ func E15(quick bool) (*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, out := range outs {
+		if out.skip {
+			return interrupted(rep), nil
+		}
 	}
 	// The zero-failure cell of each family is its no-fault baseline.
 	base := map[string]float64{}

@@ -16,10 +16,10 @@ import (
 // adaptive zigzag router's completion time on its own constructed
 // permutation actually scales, and report the growth exponent — an
 // empirical data point, not an answer (the problem is open).
-func E14(quick bool) (*Report, error) {
+func E14(opts Options) (*Report, error) {
 	k := 2
 	ns := []int{120, 216, 312}
-	if !quick {
+	if !opts.Quick {
 		ns = []int{120, 216, 312, 432, 552}
 	}
 	rep := &Report{
@@ -30,8 +30,12 @@ func E14(quick bool) (*Report, error) {
 	type out struct {
 		bound, mk int
 		done      bool
+		skip      bool
 	}
-	outs, err := par.Map(len(ns), 0, func(i int) (out, error) {
+	outs, err := par.Map(len(ns), opts.Workers, func(i int) (out, error) {
+		if opts.canceled() {
+			return out{skip: true}, nil
+		}
 		n := ns[i]
 		c, err := adversary.NewConstruction(n, k)
 		if err != nil {
@@ -56,6 +60,9 @@ func E14(quick bool) (*Report, error) {
 	}
 	var xs, ys []float64
 	for i, o := range outs {
+		if o.skip {
+			return interrupted(rep), nil
+		}
 		n := ns[i]
 		comp := fmt.Sprint(o.mk)
 		if !o.done {

@@ -3,13 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"meshroute"
 	"meshroute/internal/adversary"
-	"meshroute/internal/grid"
 	"meshroute/internal/par"
-	"meshroute/internal/routers"
-	"meshroute/internal/sim"
+	"meshroute/internal/scenario"
 	"meshroute/internal/stats"
-	"meshroute/internal/workload"
 )
 
 // E13 probes the third escape hatch of Section 7: randomness. The
@@ -18,10 +16,10 @@ import (
 // constructed permutation against the DETERMINISTIC zigzag router, then
 // route it with the randomized variant across many seeds (in parallel —
 // the cells are independent simulations).
-func E13(quick bool) (*Report, error) {
+func E13(opts Options) (*Report, error) {
 	n, k := 120, 1
 	seeds := 8
-	if !quick {
+	if !opts.Quick {
 		n = 216
 		seeds = 16
 	}
@@ -29,6 +27,9 @@ func E13(quick bool) (*Report, error) {
 		ID:    "E13",
 		Title: fmt.Sprintf("Section 7 hatch 3: randomized routing vs the deterministic router's constructed permutation (n=%d, k=%d)", n, k),
 		Table: stats.NewTable("router", "completion", "×bound", "done"),
+	}
+	if opts.canceled() {
+		return interrupted(rep), nil
 	}
 	c, err := adversary.NewConstruction(n, k)
 	if err != nil {
@@ -38,7 +39,7 @@ func E13(quick bool) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	perm := &workload.Permutation{Pairs: res.Permutation}
+	wl := scenario.Workload{Kind: scenario.KindPairs, Pairs: res.Permutation}
 	bound := res.Steps
 	cap := 40 * bound
 
@@ -55,42 +56,52 @@ func E13(quick bool) (*Report, error) {
 
 	// Deterministic zigzag at the same k the randomized runs use, for an
 	// apples-to-apples queue comparison.
-	net4 := sim.MustNew(sim.Config{
-		Topo: grid.NewSquareMesh(n), K: 4, Queues: sim.CentralQueue,
-		RequireMinimal: true, CheckInvariants: true,
-	})
-	if err := perm.Place(net4); err != nil {
+	r4, err := opts.runSpec(&scenario.Spec{N: n, K: 4, Router: meshroute.RouterZigZag, Workload: wl, MaxSteps: cap})
+	if err != nil {
 		return nil, err
 	}
-	if _, err := net4.RunPartial(zigzag(), cap); err != nil {
-		return nil, err
+	if r4.Canceled() {
+		return interrupted(rep), nil
 	}
-	rep.Table.AddRow("zigzag (deterministic, k=4)", net4.Metrics.Makespan,
-		float64(net4.Metrics.Makespan)/float64(bound), net4.Done())
+	if r4.Err != nil {
+		return nil, r4.Err
+	}
+	rep.Table.AddRow("zigzag (deterministic, k=4)", r4.Stats.Makespan,
+		float64(r4.Stats.Makespan)/float64(bound), r4.Stats.Done)
 
 	// Randomized zigzag, many seeds, in parallel.
 	type cell struct {
-		mk   int
-		done bool
+		mk       int
+		done     bool
+		canceled bool
 	}
-	cells, err := par.Map(seeds, 0, func(i int) (cell, error) {
-		net := sim.MustNew(sim.Config{
-			Topo: grid.NewSquareMesh(n), K: 4, Queues: sim.CentralQueue,
-			RequireMinimal: true, CheckInvariants: true,
+	cells, err := par.Map(seeds, opts.Workers, func(i int) (cell, error) {
+		if opts.canceled() {
+			return cell{canceled: true}, nil
+		}
+		rres, err := opts.runSpec(&scenario.Spec{
+			N: n, K: 4, Router: meshroute.RouterRandZigZag, Seed: uint64(i),
+			Workload: wl, MaxSteps: cap,
 		})
-		if err := perm.Place(net); err != nil {
+		if err != nil {
 			return cell{}, err
 		}
-		if _, err := net.RunPartial(routers.RandZigZag{Seed: uint64(i)}, cap); err != nil {
-			return cell{}, err
+		if rres.Canceled() {
+			return cell{canceled: true}, nil
 		}
-		return cell{mk: net.Metrics.Makespan, done: net.Done()}, nil
+		if rres.Err != nil {
+			return cell{}, rres.Err
+		}
+		return cell{mk: rres.Stats.Makespan, done: rres.Stats.Done}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var samples []float64
 	for i, cl := range cells {
+		if cl.canceled {
+			return interrupted(rep), nil
+		}
 		if i < 3 { // show a few seeds individually
 			rep.Table.AddRow(fmt.Sprintf("rand-zigzag seed=%d", i), cl.mk, float64(cl.mk)/float64(bound), cl.done)
 		}

@@ -55,12 +55,12 @@ func FuzzRouteUnderFaults(f *testing.F) {
 			cfg = sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
 		}
 		sched, err := fault.Generate(topo, fault.Config{
-			Seed:          faultSeed,
-			Horizon:       20 * n,
-			LinkFailures:  1 + int(linksRaw)%(2*n),
-			MeanDownSteps: 1 + n/2,
-			PermanentFrac: float64(permRaw) / 512, // 0 .. ~0.5
-			NodeStalls:    int(linksRaw) % 3,
+			Seed:           faultSeed,
+			Horizon:        20 * n,
+			LinkFailures:   1 + int(linksRaw)%(2*n),
+			MeanDownSteps:  1 + n/2,
+			PermanentFrac:  float64(permRaw) / 512, // 0 .. ~0.5
+			NodeStalls:     int(linksRaw) % 3,
 			MeanStallSteps: n,
 		})
 		if err != nil {

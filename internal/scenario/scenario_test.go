@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// randomSpec draws a valid Spec: router, topology, workload kind and the
+// optional knobs are all sampled, so round-tripping covers the whole
+// format, including fields that marshal with omitempty.
+func randomSpec(rng *rand.Rand) *Spec {
+	routers := []string{"dimorder", "zigzag", "thm15", "farthest-first", "hot-potato", "rand-zigzag", "stray-dimorder"}
+	s := &Spec{
+		Name:     "prop",
+		N:        4 + rng.Intn(8),
+		K:        1 + rng.Intn(4),
+		Router:   routers[rng.Intn(len(routers))],
+		Workload: Workload{Kind: KindTranspose},
+	}
+	if rng.Intn(2) == 0 {
+		s.Topology = []string{TopoMesh, TopoTorus}[rng.Intn(2)]
+	}
+	switch rng.Intn(6) {
+	case 0:
+		s.Workload = Workload{Kind: KindRandom, Seed: rng.Int63n(1000)}
+	case 1:
+		s.Workload = Workload{Kind: KindHH, H: 1 + rng.Intn(3), Seed: rng.Int63n(1000)}
+	case 2:
+		s.Workload = Workload{Kind: KindRotation, DX: rng.Intn(3), DY: rng.Intn(3)}
+	case 3:
+		s.Workload = Workload{Kind: KindBurst, Horizon: 10 + rng.Intn(100)}
+	case 4:
+		s.Workload = Workload{Kind: KindBernoulli, Horizon: 10 + rng.Intn(100), Seed: rng.Int63n(1000), Rate: 0.1 + 0.8*rng.Float64()}
+	case 5:
+		s.Workload = Workload{Kind: KindPairs, Pairs: []workload.Pair{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}}
+	}
+	if s.Router == "rand-zigzag" && rng.Intn(2) == 0 {
+		s.Seed = rng.Uint64()
+	}
+	if s.Router == "zigzag" && rng.Intn(2) == 0 {
+		s.FaultAware = true
+	}
+	if rng.Intn(3) == 0 {
+		s.CheckInvariants = Bool(rng.Intn(2) == 0)
+	}
+	if rng.Intn(3) == 0 {
+		s.Faults = &Faults{Seed: rng.Int63n(100), Horizon: 1 + rng.Intn(50), LinkFailures: rng.Intn(5), MeanDownSteps: 1 + rng.Intn(10)}
+	}
+	if rng.Intn(3) == 0 {
+		s.Watchdog = 100 + rng.Intn(1000)
+	}
+	if rng.Intn(3) == 0 {
+		s.Workers = rng.Intn(4)
+	}
+	if rng.Intn(3) == 0 {
+		s.MaxSteps = 1000 + rng.Intn(5000)
+	}
+	return s
+}
+
+// TestSpecJSONRoundTrip is the format's property test: any valid Spec
+// survives JSON() → Parse unchanged, including pointer fields and nested
+// structs.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		s := randomSpec(rng)
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatalf("spec %d: marshal: %v", i, err)
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("spec %d: parse %s: %v", i, data, err)
+		}
+		want, _ := json.Marshal(s)
+		back, _ := json.Marshal(got)
+		if string(want) != string(back) {
+			t.Fatalf("spec %d: round trip changed the spec:\n in: %s\nout: %s", i, want, back)
+		}
+	}
+}
+
+// TestValidate is the typed-error table: each bad spec fails with a
+// *ValidationError naming the offending field.
+func TestValidate(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{N: 8, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		field  string
+	}{
+		{"bad router", func(s *Spec) { s.Router = "warp-drive" }, "router"},
+		{"k below 1", func(s *Spec) { s.K = 0 }, "k"},
+		{"n below 1", func(s *Spec) { s.N = 0 }, "n"},
+		{"bad topology", func(s *Spec) { s.Topology = "hypercube" }, "topology"},
+		{"conflicting queue model", func(s *Spec) { s.Queues = QueuesPerInlink }, "queues"},
+		{"unknown queue model", func(s *Spec) { s.Queues = "elastic" }, "queues"},
+		{"seed on deterministic router", func(s *Spec) { s.Seed = 7 }, "seed"},
+		{"fault-aware without variant", func(s *Spec) { s.FaultAware = true }, "fault_aware"},
+		{"missing workload kind", func(s *Spec) { s.Workload.Kind = "" }, "workload.kind"},
+		{"unknown workload kind", func(s *Spec) { s.Workload.Kind = "avalanche" }, "workload.kind"},
+		{"bitrev on non-power-of-two", func(s *Spec) { s.N = 12; s.Workload.Kind = KindBitRev }, "workload.kind"},
+		{"hh without h", func(s *Spec) { s.Workload.Kind = KindHH }, "workload.h"},
+		{"empty pairs", func(s *Spec) { s.Workload = Workload{Kind: KindPairs} }, "workload.pairs"},
+		{"pair out of range", func(s *Spec) {
+			s.Workload = Workload{Kind: KindPairs, Pairs: []workload.Pair{{Src: 0, Dst: 64}}}
+		}, "workload.pairs"},
+		{"burst without horizon", func(s *Spec) { s.Workload = Workload{Kind: KindBurst} }, "workload.horizon"},
+		{"bernoulli rate above 1", func(s *Spec) {
+			s.Workload = Workload{Kind: KindBernoulli, Horizon: 10, Rate: 1.5}
+		}, "workload.rate"},
+		{"bernoulli rate zero", func(s *Spec) {
+			s.Workload = Workload{Kind: KindBernoulli, Horizon: 10}
+		}, "workload.rate"},
+		{"negative watchdog", func(s *Spec) { s.Watchdog = -1 }, "watchdog"},
+		{"negative workers", func(s *Spec) { s.Workers = -2 }, "workers"},
+		{"negative budget", func(s *Spec) { s.MaxSteps = -5 }, "max_steps"},
+		{"permanent fraction above 1", func(s *Spec) {
+			s.Faults = &Faults{LinkFailures: 1, Horizon: 10, PermanentFrac: 2}
+		}, "faults.permanent_frac"},
+		{"faults without horizon", func(s *Spec) { s.Faults = &Faults{LinkFailures: 3} }, "faults.horizon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			err := s.Validate()
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("want *ValidationError, got %v", err)
+			}
+			if verr.Field != tc.field {
+				t.Fatalf("want field %q, got %q (%v)", tc.field, verr.Field, verr)
+			}
+			if _, err := s.Build(); !errors.As(err, &verr) {
+				t.Fatalf("Build should surface the same validation error, got %v", err)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base spec should validate: %v", err)
+	}
+}
+
+// TestValidQueueAssertion checks that the queues field accepts the router's
+// actual model.
+func TestValidQueueAssertion(t *testing.T) {
+	s := &Spec{N: 8, K: 1, Router: "thm15", Queues: QueuesPerInlink, Workload: Workload{Kind: KindTranspose}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRejectsUnknownFields makes typos in scenario files loud.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"n": 8, "k": 2, "router": "dimorder", "max_stepz": 100, "workload": {"kind": "transpose"}}`))
+	if err == nil || !strings.Contains(err.Error(), "max_stepz") {
+		t.Fatalf("want unknown-field error naming max_stepz, got %v", err)
+	}
+}
+
+// TestBuildAndRun runs a small scenario end to end through the Runner and
+// checks the statistics are coherent.
+func TestBuildAndRun(t *testing.T) {
+	s := &Spec{N: 8, K: 2, Router: "zigzag", Workload: Workload{Kind: KindTranspose}}
+	var r Runner
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run aborted: %v", res.Err)
+	}
+	if !res.Stats.Done || res.Stats.Delivered != res.Stats.Total || res.Stats.Total == 0 {
+		t.Fatalf("incoherent stats: %+v", res.Stats)
+	}
+	if res.Stats.MaxQueue > 2 {
+		t.Fatalf("queue bound k=2 violated: MaxQueue=%d", res.Stats.MaxQueue)
+	}
+}
+
+// TestRunnerSeededRouter checks that Spec.Seed changes the randomized
+// router's decision stream (and that seed 0 matches the registry default).
+func TestRunnerSeededRouter(t *testing.T) {
+	run := func(seed uint64) int {
+		s := &Spec{N: 10, K: 2, Router: "rand-zigzag", Seed: seed, Workload: Workload{Kind: KindReversal}}
+		var r Runner
+		res, err := r.Run(context.Background(), s)
+		if err != nil || res.Err != nil {
+			t.Fatalf("seed %d: %v %v", seed, err, res.Err)
+		}
+		return res.Stats.Makespan
+	}
+	base := run(0)
+	differs := false
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		if run(seed) != base {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("five distinct seeds all reproduced the seed-0 makespan; seeding appears dead")
+	}
+}
+
+// TestRunnerCancellation checks that a canceled context stops the run
+// between steps with partial diagnostics, on both execution paths.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, s := range map[string]*Spec{
+		"fast path":         {N: 16, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}},
+		"instrumented path": {N: 12, K: 2, Router: "dimorder", Workload: Workload{Kind: KindBurst, Horizon: 200}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var r Runner
+			res, err := r.Run(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cerr *sim.CanceledError
+			if !errors.As(res.Err, &cerr) {
+				t.Fatalf("want *sim.CanceledError, got %v", res.Err)
+			}
+			if !res.Canceled() {
+				t.Fatal("Canceled() should report true")
+			}
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatal("CanceledError should unwrap to context.Canceled")
+			}
+		})
+	}
+}
+
+// TestRunnerStepHook checks the hook fires once per step with the engine's
+// step counter.
+func TestRunnerStepHook(t *testing.T) {
+	s := &Spec{N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}}
+	var steps []int
+	r := Runner{StepHook: func(net *sim.Network, step int) { steps = append(steps, step) }}
+	res, err := r.Run(context.Background(), s)
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if len(steps) != res.Steps {
+		t.Fatalf("hook fired %d times over %d steps", len(steps), res.Steps)
+	}
+	for i, got := range steps {
+		if got != i+1 {
+			t.Fatalf("hook %d saw step %d", i, got)
+		}
+	}
+}
+
+// TestRunnerMetricsOut checks the Runner owns the metrics-sink lifecycle.
+func TestRunnerMetricsOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.jsonl")
+	s := &Spec{N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}, MetricsOut: out}
+	var r Runner
+	res, err := r.Run(context.Background(), s)
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if res.StepSamples != res.Steps {
+		t.Fatalf("wrote %d step samples over %d steps", res.StepSamples, res.Steps)
+	}
+}
+
+// TestSweepOrderAndCancellation checks input-order results and graceful
+// partial sweeps.
+func TestSweepOrderAndCancellation(t *testing.T) {
+	specs := []*Spec{
+		{Name: "a", N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}},
+		{Name: "b", N: 8, K: 2, Router: "zigzag", Workload: Workload{Kind: KindReversal}},
+		{Name: "c", N: 6, K: 1, Router: "thm15", Workload: Workload{Kind: KindTranspose}},
+	}
+	var r Runner
+	results, err := r.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil || res.Spec.Name != specs[i].Name {
+			t.Fatalf("result %d out of order or missing", i)
+		}
+		if res.Err != nil || !res.Stats.Done {
+			t.Fatalf("%s: %v %+v", res.Spec.Name, res.Err, res.Stats)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err = r.Sweep(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			continue // skipped before starting: the graceful outcome
+		}
+		if res.Err != nil && !res.Canceled() {
+			t.Fatalf("result %d: unexpected abort %v", i, res.Err)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+// Package scenario is the declarative run layer of the repository: a Spec
+// names everything one simulation run needs — topology, queue capacity,
+// router (by registry name, including fault-aware variants and the
+// randomized router's seed), workload, fault schedule, invariant checking,
+// watchdog, engine worker count, step budget and observability outputs —
+// with JSON (de)serialization, typed validation errors, and a Build step
+// that resolves the router registry into a ready-to-run network.
+//
+// Every run of the reproduction goes through this layer: the CLIs
+// (cmd/meshroute -scenario, cmd/benchjson, cmd/lowerbound,
+// cmd/experiments), the experiment cells in internal/experiments, and the
+// golden-digest suite, whose pinned scenarios are committed spec files
+// under testdata/scenarios/. See docs/ARCHITECTURE.md for how the layers
+// stack.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"meshroute"
+	"meshroute/internal/fault"
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// Topology names accepted by Spec.Topology.
+const (
+	TopoMesh  = "mesh"
+	TopoTorus = "torus"
+)
+
+// Queue-model names accepted by Spec.Queues.
+const (
+	QueuesCentral   = "central"
+	QueuesPerInlink = "per-inlink"
+)
+
+// Workload kinds accepted by Workload.Kind. The static kinds place every
+// packet before step 1; the dynamic kinds (KindBurst, KindBernoulli)
+// pre-schedule injections over a horizon and run for exactly that many
+// steps.
+const (
+	KindRandom     = "random"      // uniformly random full permutation (Seed)
+	KindRandomDest = "random-dest" // independent uniform destinations (Seed)
+	KindTranspose  = "transpose"
+	KindReversal   = "reversal"
+	KindBitRev     = "bitrev" // power-of-two side required
+	KindRotation   = "rotation"
+	KindHH         = "hh"    // h random permutations overlaid (H, Seed)
+	KindPairs      = "pairs" // explicit source/destination pairs
+	KindBurst      = "burst" // deterministic arithmetic injection pattern
+	KindBernoulli  = "bernoulli"
+)
+
+// Workload selects the routing instance of a Spec.
+type Workload struct {
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Seed drives the random kinds (random, random-dest, hh, bernoulli).
+	Seed int64 `json:"seed,omitempty"`
+	// H is the per-node send bound of the hh kind.
+	H int `json:"h,omitempty"`
+	// DX, DY are the rotation kind's shift.
+	DX int `json:"dx,omitempty"`
+	DY int `json:"dy,omitempty"`
+	// Pairs are the explicit endpoints of the pairs kind.
+	Pairs []workload.Pair `json:"pairs,omitempty"`
+	// Horizon is the dynamic kinds' injection-and-run window in steps:
+	// the run executes exactly Horizon steps. The burst kind injects over
+	// the first Horizon/2 steps; bernoulli over all of them.
+	Horizon int `json:"horizon,omitempty"`
+	// Rate is the bernoulli kind's per-node injection probability per step.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// Dynamic reports whether the workload schedules injections over time (and
+// therefore runs for exactly Horizon steps) rather than placing packets up
+// front.
+func (w Workload) Dynamic() bool { return w.Kind == KindBurst || w.Kind == KindBernoulli }
+
+// Faults parameterizes the seeded fault schedule of a Spec; it mirrors
+// fault.Config field for field (see internal/fault for semantics).
+type Faults struct {
+	Seed           int64   `json:"seed,omitempty"`
+	Horizon        int     `json:"horizon,omitempty"`
+	LinkFailures   int     `json:"link_failures,omitempty"`
+	MeanDownSteps  int     `json:"mean_down_steps,omitempty"`
+	PermanentFrac  float64 `json:"permanent_frac,omitempty"`
+	NodeStalls     int     `json:"node_stalls,omitempty"`
+	MeanStallSteps int     `json:"mean_stall_steps,omitempty"`
+}
+
+// config converts to the fault package's parameter struct.
+func (f *Faults) config() fault.Config {
+	return fault.Config{
+		Seed:           f.Seed,
+		Horizon:        f.Horizon,
+		LinkFailures:   f.LinkFailures,
+		MeanDownSteps:  f.MeanDownSteps,
+		PermanentFrac:  f.PermanentFrac,
+		NodeStalls:     f.NodeStalls,
+		MeanStallSteps: f.MeanStallSteps,
+	}
+}
+
+// Spec is one declarative run description. The zero value is invalid;
+// populate at least N, K, Router and Workload.Kind. JSON field names are
+// the on-disk scenario format (testdata/scenarios/*.json).
+type Spec struct {
+	// Name labels the scenario (digest keys, table rows). Optional.
+	Name string `json:"name,omitempty"`
+	// Topology is "mesh" (the default when empty) or "torus".
+	Topology string `json:"topology,omitempty"`
+	// N is the side length of the square topology.
+	N int `json:"n"`
+	// K is the per-queue capacity passed to the router's Config.
+	K int `json:"k"`
+	// Router is the registry name (meshroute.RouterNames).
+	Router string `json:"router"`
+	// FaultAware selects the router's fault-aware variant.
+	FaultAware bool `json:"fault_aware,omitempty"`
+	// Seed seeds a randomized router's decision stream (rand-zigzag);
+	// nonzero on a deterministic router is a validation error.
+	Seed uint64 `json:"seed,omitempty"`
+	// Queues optionally asserts the queue model ("central"/"per-inlink");
+	// a value conflicting with the router's required model is a
+	// validation error. Empty accepts the router's model.
+	Queues string `json:"queues,omitempty"`
+	// CheckInvariants overrides the router Config's invariant-checker
+	// setting; nil keeps the router's default.
+	CheckInvariants *bool `json:"check_invariants,omitempty"`
+	// Workload is the routing instance.
+	Workload Workload `json:"workload"`
+	// Faults, when non-nil, generates a seeded fault schedule for the run.
+	Faults *Faults `json:"faults,omitempty"`
+	// Watchdog is the livelock no-progress window in steps (0 = off).
+	Watchdog int `json:"watchdog,omitempty"`
+	// Workers is the engine's intra-step worker count (sim.Config.Workers).
+	Workers int `json:"workers,omitempty"`
+	// MaxSteps is the step budget; 0 means the generous automatic budget
+	// 200·(n²/k + 2n). Ignored by dynamic workloads, which run for
+	// exactly Workload.Horizon steps.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// MetricsOut, when set, writes per-step metrics JSONL to this path.
+	MetricsOut string `json:"metrics_out,omitempty"`
+	// TraceOut, when set, writes a JSON-lines step trace to this path.
+	TraceOut string `json:"trace_out,omitempty"`
+}
+
+// Bool returns a pointer for Spec.CheckInvariants literals.
+func Bool(b bool) *bool { return &b }
+
+// ValidationError reports a single invalid Spec field. Field is the JSON
+// path of the offending field (e.g. "workload.kind").
+type ValidationError struct {
+	// Field is the JSON path of the invalid field.
+	Field string
+	// Reason explains the constraint that failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("scenario: invalid %s: %s", e.Field, e.Reason)
+}
+
+func invalid(field, format string, args ...any) *ValidationError {
+	return &ValidationError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// queueModelName maps a sim queue model to its spec name.
+func queueModelName(q sim.QueueModel) string {
+	if q == sim.PerInlinkQueues {
+		return QueuesPerInlink
+	}
+	return QueuesCentral
+}
+
+// Validate checks the Spec without building anything. It returns a
+// *ValidationError naming the first offending field, or nil.
+func (s *Spec) Validate() error {
+	switch s.Topology {
+	case "", TopoMesh, TopoTorus:
+	default:
+		return invalid("topology", "unknown topology %q (want %q or %q)", s.Topology, TopoMesh, TopoTorus)
+	}
+	if s.N < 1 {
+		return invalid("n", "side length %d, need n >= 1", s.N)
+	}
+	if s.K < 1 {
+		return invalid("k", "queue capacity %d, need k >= 1", s.K)
+	}
+	rspec, err := meshroute.LookupRouter(s.Router)
+	if err != nil {
+		return invalid("router", "unknown router %q (have %v)", s.Router, meshroute.RouterNames())
+	}
+	if s.FaultAware && rspec.NewFaultAware == nil {
+		return invalid("fault_aware", "router %q has no fault-aware variant", s.Router)
+	}
+	if s.Seed != 0 && rspec.NewSeeded == nil {
+		return invalid("seed", "router %q is deterministic and takes no seed", s.Router)
+	}
+	switch s.Queues {
+	case "":
+	case QueuesCentral, QueuesPerInlink:
+		if want := queueModelName(rspec.Queues); s.Queues != want {
+			return invalid("queues", "router %q requires the %q queue model, spec says %q", s.Router, want, s.Queues)
+		}
+	default:
+		return invalid("queues", "unknown queue model %q (want %q or %q)", s.Queues, QueuesCentral, QueuesPerInlink)
+	}
+	if s.Watchdog < 0 {
+		return invalid("watchdog", "negative window %d", s.Watchdog)
+	}
+	if s.Workers < 0 {
+		return invalid("workers", "negative worker count %d", s.Workers)
+	}
+	if s.MaxSteps < 0 {
+		return invalid("max_steps", "negative budget %d", s.MaxSteps)
+	}
+	if err := s.validateWorkload(); err != nil {
+		return err
+	}
+	if f := s.Faults; f != nil {
+		if f.LinkFailures < 0 || f.NodeStalls < 0 {
+			return invalid("faults", "negative episode count")
+		}
+		if f.PermanentFrac < 0 || f.PermanentFrac > 1 {
+			return invalid("faults.permanent_frac", "%v outside [0, 1]", f.PermanentFrac)
+		}
+		if (f.LinkFailures > 0 || f.NodeStalls > 0) && f.Horizon < 1 {
+			return invalid("faults.horizon", "horizon %d, need >= 1 when episodes are scheduled", f.Horizon)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateWorkload() error {
+	w := s.Workload
+	switch w.Kind {
+	case KindRandom, KindRandomDest, KindTranspose, KindReversal, KindRotation:
+	case KindBitRev:
+		if s.N&(s.N-1) != 0 {
+			return invalid("workload.kind", "bitrev needs a power-of-two side, n=%d", s.N)
+		}
+	case KindHH:
+		if w.H < 1 {
+			return invalid("workload.h", "h-h workload needs h >= 1, got %d", w.H)
+		}
+	case KindPairs:
+		if len(w.Pairs) == 0 {
+			return invalid("workload.pairs", "pairs workload with no pairs")
+		}
+		max := grid.NodeID(s.N * s.N)
+		for i, p := range w.Pairs {
+			if p.Src < 0 || p.Src >= max || p.Dst < 0 || p.Dst >= max {
+				return invalid("workload.pairs", "pair %d (%d->%d) outside the %d-node topology", i, p.Src, p.Dst, max)
+			}
+		}
+	case KindBurst:
+		if w.Horizon < 1 {
+			return invalid("workload.horizon", "burst workload needs horizon >= 1, got %d", w.Horizon)
+		}
+	case KindBernoulli:
+		if w.Horizon < 1 {
+			return invalid("workload.horizon", "bernoulli workload needs horizon >= 1, got %d", w.Horizon)
+		}
+		if w.Rate <= 0 || w.Rate > 1 {
+			return invalid("workload.rate", "rate %v outside (0, 1]", w.Rate)
+		}
+	case "":
+		return invalid("workload.kind", "missing workload kind")
+	default:
+		return invalid("workload.kind", "unknown workload kind %q", w.Kind)
+	}
+	return nil
+}
+
+// Run is a built, ready-to-execute scenario: the validated network with
+// its workload placed (or injections scheduled), the algorithm factory,
+// and the step budget. Execute it with a Runner, or drive Net directly.
+type Run struct {
+	// Spec is the source spec.
+	Spec *Spec
+	// Net is the network, populated and ready for step 1.
+	Net *sim.Network
+	// NewAlg creates the (resolved) routing algorithm.
+	NewAlg func() sim.Algorithm
+	// Budget is the step budget of the run.
+	Budget int
+	// Exact makes the run execute exactly Budget steps instead of
+	// stopping at delivery (dynamic workloads).
+	Exact bool
+	// Faults is the generated fault schedule, or nil.
+	Faults *fault.Schedule
+}
+
+// Build validates the Spec, resolves the router registry, generates the
+// fault schedule, constructs the network and applies the workload. The
+// returned Run is ready for a Runner.
+func (s *Spec) Build() (*Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var topo grid.Topology
+	if s.Topology == TopoTorus {
+		topo = grid.NewSquareTorus(s.N)
+	} else {
+		topo = grid.NewSquareMesh(s.N)
+	}
+	rspec, err := meshroute.LookupRouter(s.Router)
+	if err != nil {
+		return nil, err
+	}
+	cfg := rspec.Config(topo, s.K)
+	if s.CheckInvariants != nil {
+		cfg.CheckInvariants = *s.CheckInvariants
+	}
+	cfg.Watchdog = s.Watchdog
+	cfg.Workers = s.Workers
+	var sched *fault.Schedule
+	if s.Faults != nil {
+		sched, err = fault.Generate(topo, s.Faults.config())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: faults: %w", s.describe(), err)
+		}
+		cfg.Faults = sched
+	}
+	net, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.describe(), err)
+	}
+	budget, err := s.applyWorkload(net, topo)
+	if err != nil {
+		return nil, err
+	}
+	newAlg := rspec.New
+	switch {
+	case s.Seed != 0:
+		seed, fa := s.Seed, s.FaultAware
+		newAlg = func() sim.Algorithm { return rspec.NewSeeded(seed, fa) }
+	case s.FaultAware:
+		newAlg = rspec.NewFaultAware
+	}
+	return &Run{
+		Spec:   s,
+		Net:    net,
+		NewAlg: newAlg,
+		Budget: budget,
+		Exact:  s.Workload.Dynamic(),
+		Faults: sched,
+	}, nil
+}
+
+// applyWorkload places or schedules the Spec's workload and returns the
+// run's step budget.
+func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, error) {
+	w := s.Workload
+	var perm *workload.Permutation
+	switch w.Kind {
+	case KindRandom:
+		perm = workload.Random(topo, w.Seed)
+	case KindRandomDest:
+		perm = workload.RandomDestinations(topo, w.Seed)
+	case KindTranspose:
+		perm = workload.Transpose(topo)
+	case KindReversal:
+		perm = workload.Reversal(topo)
+	case KindBitRev:
+		perm = workload.BitReversal(topo)
+	case KindRotation:
+		perm = workload.Rotation(topo, w.DX, w.DY)
+	case KindHH:
+		hh := workload.RandomHH(topo, w.H, w.Seed)
+		perm = &workload.Permutation{Pairs: hh.Pairs}
+	case KindPairs:
+		perm = &workload.Permutation{Pairs: w.Pairs}
+	case KindBurst:
+		// Bursty deterministic arithmetic pattern (no RNG) over the first
+		// half of the horizon: node id injects at steps congruent to
+		// id mod 7, toward a shifted destination. This is the pinned
+		// pattern of the dynamic golden-digest scenarios.
+		nn := s.N * s.N
+		for step := 1; step <= w.Horizon/2; step++ {
+			for id := 0; id < nn; id++ {
+				if (id+step)%7 == 0 {
+					dst := grid.NodeID((id*13 + step*29) % nn)
+					net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
+				}
+			}
+		}
+		return w.Horizon, nil
+	case KindBernoulli:
+		// Each node sources a packet with probability Rate per step,
+		// uniform destination; the whole pattern is pre-scheduled from
+		// the seed, so the run is exactly reproducible.
+		nn := s.N * s.N
+		rng := rand.New(rand.NewSource(w.Seed))
+		for step := 1; step <= w.Horizon; step++ {
+			for id := 0; id < nn; id++ {
+				if rng.Float64() < w.Rate {
+					dst := grid.NodeID(rng.Intn(nn))
+					net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
+				}
+			}
+		}
+		return w.Horizon, nil
+	default:
+		return 0, invalid("workload.kind", "unknown workload kind %q", w.Kind)
+	}
+	if err := perm.Place(net); err != nil {
+		return 0, fmt.Errorf("scenario %s: place workload: %w", s.describe(), err)
+	}
+	if s.MaxSteps > 0 {
+		return s.MaxSteps, nil
+	}
+	return 200 * (s.N*s.N/s.K + 2*s.N), nil
+}
+
+// describe labels the spec in error messages.
+func (s *Spec) describe() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s-n%d-k%d", s.Router, s.N, s.K)
+}
+
+// Parse decodes one Spec from JSON. Unknown fields are an error, so typos
+// in hand-written scenario files fail loudly; the decoded spec is
+// validated before it is returned.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads, parses and validates a scenario file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON renders the Spec as indented JSON with a trailing newline — the
+// committed scenario-file format.
+func (s *Spec) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Write writes the Spec's JSON form.
+func (s *Spec) Write(w io.Writer) error {
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -135,6 +135,30 @@ func (e *LivelockError) Error() string {
 		e.Alg, e.Window, e.Diag.Step, e.Diag)
 }
 
+// CanceledError reports that a context-aware run (RunContext,
+// RunPartialContext) was canceled between steps. It carries the same
+// structured diagnostics as the other abort errors, so callers can report
+// partial progress, and unwraps to the context's error (context.Canceled
+// or context.DeadlineExceeded).
+type CanceledError struct {
+	// Alg is the routing algorithm's name.
+	Alg string
+	// Steps is the number of steps executed before cancellation.
+	Steps int
+	// Cause is the context's error.
+	Cause error
+	// Diag is the cancellation-time state snapshot.
+	Diag Diagnostics
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: %s canceled after %d steps: %v: %s", e.Alg, e.Steps, e.Cause, e.Diag)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // UnreachableError reports that a packet's destination became unreachable
 // for a minimal router: every profitable outlink at the packet's current
 // node has permanently failed, so no sequence of shortest-path moves can

@@ -100,11 +100,13 @@ func TestParallelWorkersBitIdentical(t *testing.T) {
 // the silent serial fallback for algorithms without ParallelCloner.
 type nonCloner struct{ g greedyXY }
 
-func (a nonCloner) Name() string                                             { return "non-cloner" }
-func (a nonCloner) InitNode(net *Network, n *Node)                           { a.g.InitNode(net, n) }
-func (a nonCloner) Schedule(net *Network, n *Node) [grid.NumDirs]int         { return a.g.Schedule(net, n) }
-func (a nonCloner) Accept(net *Network, n *Node, offers []Offer, acc []bool) { a.g.Accept(net, n, offers, acc) }
-func (a nonCloner) Update(net *Network, n *Node)                             { a.g.Update(net, n) }
+func (a nonCloner) Name() string                                     { return "non-cloner" }
+func (a nonCloner) InitNode(net *Network, n *Node)                   { a.g.InitNode(net, n) }
+func (a nonCloner) Schedule(net *Network, n *Node) [grid.NumDirs]int { return a.g.Schedule(net, n) }
+func (a nonCloner) Accept(net *Network, n *Node, offers []Offer, acc []bool) {
+	a.g.Accept(net, n, offers, acc)
+}
+func (a nonCloner) Update(net *Network, n *Node) { a.g.Update(net, n) }
 
 // TestWorkersNonClonerFallsBackSerial: Workers > 1 with an algorithm that
 // does not implement ParallelCloner must still run (serially) and match the

@@ -280,10 +280,10 @@ type Network struct {
 	backlogNodes []grid.NodeID
 	inBacklog    []bool
 
-	exchange ExchangeFn
-	observer   ObserverFn
-	sink       obs.Sink
-	eventSink  obs.EventSink // sink, if it also records fault events
+	exchange  ExchangeFn
+	observer  ObserverFn
+	sink      obs.Sink
+	eventSink obs.EventSink // sink, if it also records fault events
 
 	// Conservation counters for the invariant checker.
 	pendingTotal int // packets queued for injection, not yet backlogged
@@ -335,8 +335,8 @@ type stepScratch struct {
 	stamp    int32
 
 	arrivals []arrival
-	accept   []bool          // Accept decision buffer, sliced per target
-	senders  []grid.NodeID   // distinct sending nodes of this step's arrivals
+	accept   []bool        // Accept decision buffer, sliced per target
+	senders  []grid.NodeID // distinct sending nodes of this step's arrivals
 
 	// Observer record buffers (reused only when an observer is set).
 	recMoves     []Move

@@ -24,12 +24,13 @@ type Permutation struct {
 	Pairs []Pair
 }
 
-// Pair is one packet's endpoints.
+// Pair is one packet's endpoints. The JSON names are part of the scenario
+// spec format (internal/scenario).
 type Pair struct {
 	// Src is the source node.
-	Src grid.NodeID
+	Src grid.NodeID `json:"src"`
 	// Dst is the destination node.
-	Dst grid.NodeID
+	Dst grid.NodeID `json:"dst"`
 }
 
 // Len returns the number of packets.

@@ -165,6 +165,10 @@ type RouteOptions struct {
 	// Watchdog aborts the run with a LivelockError after this many steps
 	// without a delivery (0 disables the watchdog).
 	Watchdog int
+	// Seed seeds a randomized router's decision stream (rand-zigzag).
+	// Selecting a nonzero seed for a deterministic router is an error;
+	// 0 keeps the router's default stream.
+	Seed uint64
 }
 
 // Route runs a named router on a permutation over the given topology with
@@ -181,7 +185,17 @@ func RouteWithOptions(router string, topo Topology, k int, perm *Permutation, op
 		return RouteStats{}, err
 	}
 	newAlg := spec.New
-	if opts.FaultAware {
+	switch {
+	case opts.Seed != 0:
+		if spec.NewSeeded == nil {
+			return RouteStats{}, fmt.Errorf("meshroute: router %q is deterministic and takes no seed", router)
+		}
+		if opts.FaultAware && spec.NewFaultAware == nil {
+			return RouteStats{}, fmt.Errorf("meshroute: router %q has no fault-aware variant", router)
+		}
+		seed, fa := opts.Seed, opts.FaultAware
+		newAlg = func() sim.Algorithm { return spec.NewSeeded(seed, fa) }
+	case opts.FaultAware:
 		if spec.NewFaultAware == nil {
 			return RouteStats{}, fmt.Errorf("meshroute: router %q has no fault-aware variant", router)
 		}

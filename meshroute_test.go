@@ -125,3 +125,40 @@ func TestAdversaryFacade(t *testing.T) {
 		t.Fatal("MinN wrong")
 	}
 }
+
+func TestRouteOptionsSeed(t *testing.T) {
+	topo := NewMesh(12)
+	perm := RandomPermutation(topo, 42)
+	// Same seed → same run; across seeds the decision stream (and with it
+	// the makespan, on at least one seed) must vary.
+	base, err := RouteWithOptions(RouterRandZigZag, topo, 2, perm, RouteOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RouteWithOptions(RouterRandZigZag, topo, 2, perm, RouteOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != again.Makespan || base.MaxQueue != again.MaxQueue {
+		t.Fatalf("seed 1 not deterministic: %+v vs %+v", base, again)
+	}
+	varies := false
+	for seed := uint64(2); seed <= 8; seed++ {
+		st, err := RouteWithOptions(RouterRandZigZag, topo, 2, perm, RouteOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Done {
+			t.Fatalf("seed %d: not done", seed)
+		}
+		if st.Makespan != base.Makespan {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("makespan identical across all seeds — seed not reaching the router")
+	}
+	if _, err := RouteWithOptions(RouterDimOrder, topo, 2, perm, RouteOptions{Seed: 5}); err == nil {
+		t.Fatal("deterministic router must reject a seed")
+	}
+}

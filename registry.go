@@ -31,8 +31,8 @@ const (
 	RouterHotPotato = "hot-potato"
 	// RouterRandZigZag is the randomized minimal adaptive router — the
 	// Section 7 "incorporate randomness" escape hatch. Deterministic
-	// given its seed (0 via the registry; use routers.RandZigZag for
-	// other seeds), but outside the Theorem 14 model.
+	// given its seed (0 by default; set RouteOptions.Seed or a scenario
+	// Spec's seed for other streams), but outside the Theorem 14 model.
 	RouterRandZigZag = "rand-zigzag"
 	// RouterStray is the Section 5 "Nonminimal extensions" router:
 	// dimension order that may overshoot its turning column by up to
@@ -59,6 +59,11 @@ type RouterSpec struct {
 	// NewFaultAware creates the router's fault-aware variant (detours
 	// around failed links), or is nil if the router has none.
 	NewFaultAware func() sim.Algorithm
+	// NewSeeded creates the router with an explicit randomness seed (and,
+	// when faultAware is set, its fault-aware variant). It is nil for
+	// deterministic routers, which have no seed to set; New is equivalent
+	// to NewSeeded(0, false) where both exist.
+	NewSeeded func(seed uint64, faultAware bool) sim.Algorithm
 	// Config builds the network configuration for a topology and k.
 	Config func(topo Topology, k int) sim.Config
 }
@@ -115,6 +120,9 @@ var registry = map[string]RouterSpec{
 		Queues:                  sim.CentralQueue,
 		New:                     func() sim.Algorithm { return routers.RandZigZag{Seed: 0} },
 		NewFaultAware:           func() sim.Algorithm { return routers.RandZigZag{Seed: 0, FaultAware: true} },
+		NewSeeded: func(seed uint64, faultAware bool) sim.Algorithm {
+			return routers.RandZigZag{Seed: seed, FaultAware: faultAware}
+		},
 		Config: func(topo Topology, k int) sim.Config {
 			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
 		},
