@@ -64,6 +64,8 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		scenarioFile = flag.String("scenario", "", "run this scenario spec file instead of building one from the flags")
 		dumpScenario = flag.Bool("dump-scenario", false, "print the run's scenario spec as JSON and exit without running")
+		submitFile   = flag.String("submit", "", "submit this scenario spec file (or sweep array) to a meshrouted server instead of running locally")
+		server       = flag.String("server", "http://127.0.0.1:8421", "meshrouted base URL for -submit")
 		routerSeed   = flag.Uint64("router-seed", 0, "seed for a randomized router's decisions (rand-zigzag; 0 = default stream)")
 		workers      = flag.Int("workers", 0, "engine worker count for intra-step parallel scheduling (0 = serial)")
 
@@ -98,6 +100,7 @@ func main() {
 		maxSteps: *maxSteps, improved: *improved, showViz: *showViz,
 		traceFile: *traceFile, metricsOut: *metricsOut,
 		scenarioFile: *scenarioFile, dumpScenario: *dumpScenario,
+		submitFile: *submitFile, server: *server,
 		routerSeed: *routerSeed, workers: *workers,
 		faultSeed: *faultSeed, faultLinks: *faultLinks, faultDown: *faultDown,
 		faultPerm: *faultPerm, faultStalls: *faultStalls, faultStall: *faultStall,
@@ -147,6 +150,7 @@ type cliOptions struct {
 	traceFile, metricsOut   string
 	scenarioFile            string
 	dumpScenario            bool
+	submitFile, server      string
 	routerSeed              uint64
 	workers                 int
 	faultSeed               int64
@@ -209,6 +213,9 @@ func (o cliOptions) spec() (*scenario.Spec, error) {
 }
 
 func run(ctx context.Context, o cliOptions) error {
+	if o.submitFile != "" {
+		return runSubmit(ctx, o)
+	}
 	if o.router == "clt" && o.scenarioFile == "" && !o.dumpScenario {
 		return runCLT(o)
 	}
@@ -237,7 +244,14 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 	}
 	if o.dumpScenario {
-		return spec.Write(os.Stdout)
+		if err := spec.Write(os.Stdout); err != nil {
+			return err
+		}
+		// The fingerprint goes to stderr so stdout stays a clean spec file.
+		if fp, err := spec.Fingerprint(); err == nil {
+			fmt.Fprintf(os.Stderr, "fingerprint: %s\n", fp)
+		}
+		return nil
 	}
 	return runScenario(ctx, spec, o.showViz)
 }

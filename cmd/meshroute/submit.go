@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"meshroute/internal/scenario"
+	"meshroute/internal/service"
+)
+
+// runSubmit ships a spec file (single spec or sweep array) to a
+// meshrouted server, waits for the results, and prints each job's
+// statistics exactly like a local run. Progress notes go to stderr so
+// stdout stays diffable against `meshroute -scenario`.
+func runSubmit(ctx context.Context, o cliOptions) error {
+	data, err := os.ReadFile(o.submitFile)
+	if err != nil {
+		return err
+	}
+	specs, err := parseSubmission(data)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(o.server, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	accepted, err := postJobs(ctx, client, base, data, len(specs) > 1 || bytes.TrimSpace(data)[0] == '[')
+	if err != nil {
+		return err
+	}
+	if len(accepted) != len(specs) {
+		return fmt.Errorf("server accepted %d jobs for %d specs", len(accepted), len(specs))
+	}
+
+	var firstErr error
+	for i, st := range accepted {
+		note := "queued"
+		if st.CacheHit {
+			note = "served from cache"
+		}
+		fmt.Fprintf(os.Stderr, "job %s: %s (fingerprint %.12s…)\n", st.ID, note, st.Fingerprint)
+		final, err := pollJob(ctx, client, base, st.ID)
+		if err != nil {
+			return err
+		}
+		spec := specs[i]
+		switch final.State {
+		case service.StateDone:
+			printStats(spec.Router, spec.N, spec.K, final.Stats.RouteStats())
+		case service.StateCanceled, service.StateFailed:
+			fmt.Fprintf(os.Stderr, "job %s %s: %s\n", final.ID, final.State, final.Error)
+			if final.Stats != nil {
+				fmt.Printf("partial results:\n")
+				printStats(spec.Router, spec.N, spec.K, final.Stats.RouteStats())
+			}
+			if final.Diagnostics != "" {
+				fmt.Printf("diagnostics: %s\n", final.Diagnostics)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+			}
+		default:
+			return fmt.Errorf("job %s in non-terminal state %s after polling", final.ID, final.State)
+		}
+	}
+	return firstErr
+}
+
+// parseSubmission validates the file locally with the same strict parser
+// the server uses, so mistakes are caught before any network round trip,
+// and returns the specs in submission order for printing.
+func parseSubmission(data []byte) ([]*scenario.Spec, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty submission")
+	}
+	if trimmed[0] != '[' {
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return []*scenario.Spec{spec}, nil
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(trimmed, &raw); err != nil {
+		return nil, fmt.Errorf("sweep array: %w", err)
+	}
+	specs := make([]*scenario.Spec, len(raw))
+	for i, r := range raw {
+		spec, err := scenario.Parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec %d: %w", i, err)
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// postJobs submits the raw file bytes and returns the accepted job
+// statuses (one for a single spec, several for a sweep).
+func postJobs(ctx context.Context, client *http.Client, base string, body []byte, sweep bool) ([]service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg := strings.TrimSpace(string(payload))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return nil, fmt.Errorf("server busy (queue full): %s — retry later", msg)
+		case http.StatusServiceUnavailable:
+			return nil, fmt.Errorf("server draining: %s", msg)
+		default:
+			return nil, fmt.Errorf("server refused submission (%s): %s", resp.Status, msg)
+		}
+	}
+	if !sweep {
+		var st service.JobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return nil, fmt.Errorf("decode job status: %w", err)
+		}
+		return []service.JobStatus{st}, nil
+	}
+	var resp2 struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(payload, &resp2); err != nil {
+		return nil, fmt.Errorf("decode sweep response: %w", err)
+	}
+	return resp2.Jobs, nil
+}
+
+// pollJob watches a job until it reaches a terminal state.
+func pollJob(ctx context.Context, client *http.Client, base, id string) (service.JobStatus, error) {
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		st, err := getJob(ctx, client, base, id)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func getJob(ctx context.Context, client *http.Client, base, id string) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.JobStatus{}, fmt.Errorf("poll job %s: %s", id, resp.Status)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,91 @@
+// Command meshrouted serves the simulation engine over HTTP: scenario
+// specs go in (POST /v1/jobs, single spec or sweep array), routing
+// statistics come out, with a bounded FIFO job queue in between — the
+// control-plane analogue of the paper's bounded-queue discipline. When
+// the queue is full the server refuses new work with 429 instead of
+// buffering without limit.
+//
+// Results are cached by the spec's canonical fingerprint: the engine is
+// deterministic, so resubmitting an identical spec returns the stored
+// statistics without simulating.
+//
+//	meshrouted -addr :8421 -workers 4 -queue-depth 64
+//	meshroute -submit testdata/scenarios/smoke.json -server http://127.0.0.1:8421
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions are refused
+// (503), running jobs get up to -drain to finish, anything still running
+// after that is canceled and retires with partial statistics.
+//
+// See docs/SERVICE.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"meshroute/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8421", "listen address")
+		workers     = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 64, "job queue capacity; submissions past it get 429")
+		cacheSize   = flag.Int("cache-size", 256, "result cache entries (negative disables caching)")
+		maxJobSteps = flag.Int("max-job-steps", 0, "reject specs whose step budget exceeds this (0 = no cap)")
+		eventBuffer = flag.Int("event-buffer", 65536, "per-job cap on buffered NDJSON event records")
+		retainJobs  = flag.Int("retain-jobs", 4096, "terminal jobs kept in memory before eviction")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before running jobs are canceled")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		MaxJobSteps: *maxJobSteps,
+		EventBuffer: *eventBuffer,
+		RetainJobs:  *retainJobs,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("meshrouted listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("shutdown signal received; draining jobs (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	log.Printf("meshrouted stopped")
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "sync/atomic"
+
+// Counters is a concurrency-safe aggregate Sink: instead of retaining
+// records like Memory, it folds every sample, span and event into a
+// handful of atomic totals. One Counters value can be shared by many
+// concurrent runs (it is the operational-metrics feed of the simulation
+// service, which attaches it to every job alongside the job's own stream),
+// and reading a total never blocks a producer.
+type Counters struct {
+	steps     atomic.Int64
+	moves     atomic.Int64
+	delivered atomic.Int64
+	spans     atomic.Int64
+	events    atomic.Int64
+}
+
+// Step folds one step sample into the totals.
+func (c *Counters) Step(s StepSample) {
+	c.steps.Add(1)
+	c.moves.Add(int64(s.Moves))
+	c.delivered.Add(int64(s.Delivered))
+}
+
+// Span counts one phase span.
+func (c *Counters) Span(Span) { c.spans.Add(1) }
+
+// Event counts one fault/watchdog event.
+func (c *Counters) Event(Event) { c.events.Add(1) }
+
+// Steps returns the number of engine steps observed.
+func (c *Counters) Steps() int64 { return c.steps.Load() }
+
+// Moves returns the total accepted transmissions observed.
+func (c *Counters) Moves() int64 { return c.moves.Load() }
+
+// Delivered returns the total packet deliveries observed.
+func (c *Counters) Delivered() int64 { return c.delivered.Load() }
+
+// Spans returns the number of phase spans observed.
+func (c *Counters) Spans() int64 { return c.spans.Load() }
+
+// Events returns the number of fault/watchdog events observed.
+func (c *Counters) Events() int64 { return c.events.Load() }

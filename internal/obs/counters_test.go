@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestCountersAggregates checks the fold arithmetic.
+func TestCountersAggregates(t *testing.T) {
+	var c Counters
+	c.Step(StepSample{Step: 1, Moves: 3, Delivered: 1})
+	c.Step(StepSample{Step: 2, Moves: 5, Delivered: 2})
+	c.Span(Span{Name: "march"})
+	c.Event(Event{Kind: "link-down"})
+	c.Event(Event{Kind: "link-up"})
+	if got := c.Steps(); got != 2 {
+		t.Errorf("Steps() = %d, want 2", got)
+	}
+	if got := c.Moves(); got != 8 {
+		t.Errorf("Moves() = %d, want 8", got)
+	}
+	if got := c.Delivered(); got != 3 {
+		t.Errorf("Delivered() = %d, want 3", got)
+	}
+	if got := c.Spans(); got != 1 {
+		t.Errorf("Spans() = %d, want 1", got)
+	}
+	if got := c.Events(); got != 2 {
+		t.Errorf("Events() = %d, want 2", got)
+	}
+}
+
+// TestCountersConcurrent hammers one Counters from many goroutines — the
+// sharing pattern of the simulation service — and checks nothing is lost.
+// Run with -race.
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Step(StepSample{Moves: 2, Delivered: 1})
+				c.Event(Event{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Steps(); got != workers*per {
+		t.Errorf("Steps() = %d, want %d", got, workers*per)
+	}
+	if got := c.Moves(); got != 2*workers*per {
+		t.Errorf("Moves() = %d, want %d", got, 2*workers*per)
+	}
+	if got := c.Events(); got != workers*per {
+		t.Errorf("Events() = %d, want %d", got, workers*per)
+	}
+}
+
+// TestLineEncodersMatchJSONLSink checks StepLine/SpanLine/EventLine emit
+// byte-identical lines to the JSONL sink, so streams assembled line by
+// line stay readable by ReadJSONL.
+func TestLineEncodersMatchJSONLSink(t *testing.T) {
+	sample := StepSample{Step: 3, Moves: 4, Delivered: 1, DeliveredTotal: 2, InFlight: 7, MaxQueue: 2}
+	span := Span{Name: "march", Class: "NE", Iteration: 1, Measured: 9, Formula: 12}
+	event := Event{Step: 5, Kind: "link-down", Node: 11, Dir: "E", Detail: "permanent"}
+
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Step(sample)
+	sink.Span(span)
+	sink.Event(event)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []byte
+	for _, enc := range []func() ([]byte, error){
+		func() ([]byte, error) { return StepLine(sample) },
+		func() ([]byte, error) { return SpanLine(span) },
+		func() ([]byte, error) { return EventLine(event) },
+	} {
+		line, err := enc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line...)
+	}
+	if !bytes.Equal(lines, buf.Bytes()) {
+		t.Fatalf("line encoders diverge from JSONL sink\n got: %q\nwant: %q", lines, buf.Bytes())
+	}
+
+	steps, spans, events, err := ReadJSONL(bytes.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || len(spans) != 1 || len(events) != 1 {
+		t.Fatalf("ReadJSONL parsed %d/%d/%d records, want 1/1/1", len(steps), len(spans), len(events))
+	}
+	if steps[0] != sample || spans[0] != span || events[0] != event {
+		t.Fatal("round-tripped records differ from originals")
+	}
+}

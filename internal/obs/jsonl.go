@@ -36,6 +36,28 @@ type faultLine struct {
 	Event
 }
 
+// StepLine renders one step sample as a metrics-JSONL line (with trailing
+// newline) — the same wire format the JSONL sink writes, for producers
+// that buffer or stream individual lines themselves.
+func StepLine(s StepSample) ([]byte, error) {
+	data, err := json.Marshal(stepLine{T: LineStep, StepSample: s})
+	return append(data, '\n'), err
+}
+
+// SpanLine renders one span as a metrics-JSONL line (with trailing
+// newline).
+func SpanLine(sp Span) ([]byte, error) {
+	data, err := json.Marshal(spanLine{T: LineSpan, Span: sp})
+	return append(data, '\n'), err
+}
+
+// EventLine renders one fault/watchdog event as a metrics-JSONL line
+// (with trailing newline).
+func EventLine(e Event) ([]byte, error) {
+	data, err := json.Marshal(faultLine{T: LineFault, Event: e})
+	return append(data, '\n'), err
+}
+
 // JSONL is a Sink that streams samples and spans to a writer as JSON
 // lines. Writes are buffered; call Close to flush and surface the first
 // write error. After an error the sink drops further records, so a run

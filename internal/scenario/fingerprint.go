@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"meshroute"
+	"meshroute/internal/grid"
+)
+
+// Fingerprint returns the canonical content hash of the Spec: the SHA-256
+// of its canonical JSON form, hex-encoded. Two specs share a fingerprint
+// exactly when they describe the same run, so the engine's determinism
+// (identical spec ⇒ identical result, pinned by the golden-digest suite)
+// makes the fingerprint a sound cache key — internal/service uses it to
+// serve repeat submissions without re-simulating.
+//
+// Canonicalization:
+//
+//   - presentation-only fields (name, metrics_out, trace_out) are cleared —
+//     they label or export a run without changing its outcome;
+//   - defaults are materialized: an empty topology becomes "mesh", an empty
+//     queue model becomes the router's required model, a nil
+//     check_invariants becomes the router Config's default, and a zero
+//     max_steps becomes the automatic budget (for dynamic workloads, which
+//     ignore the budget, max_steps is zeroed instead);
+//   - the JSON is re-encoded through a map, so keys are sorted and field
+//     order cannot leak into the hash.
+//
+// Every semantic field participates, including Seed, Workload.Seed and
+// Workers, so any change to what would be executed changes the fingerprint.
+// The Spec must be valid; the validation error is returned otherwise.
+func (s *Spec) Fingerprint() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	c := *s
+	c.Name = ""
+	c.MetricsOut = ""
+	c.TraceOut = ""
+	if c.Topology == "" {
+		c.Topology = TopoMesh
+	}
+	rspec, err := meshroute.LookupRouter(c.Router)
+	if err != nil {
+		return "", err
+	}
+	if c.Queues == "" {
+		c.Queues = queueModelName(rspec.Queues)
+	}
+	if c.CheckInvariants == nil {
+		var topo grid.Topology
+		if c.Topology == TopoTorus {
+			topo = grid.NewSquareTorus(c.N)
+		} else {
+			topo = grid.NewSquareMesh(c.N)
+		}
+		c.CheckInvariants = Bool(rspec.Config(topo, c.K).CheckInvariants)
+	}
+	if c.Workload.Dynamic() {
+		c.MaxSteps = 0 // ignored by exact-horizon runs
+	} else if c.MaxSteps == 0 {
+		c.MaxSteps = 200 * (c.N*c.N/c.K + 2*c.N)
+	}
+	if f := c.Faults; f != nil {
+		ff := *f
+		c.Faults = &ff
+	}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprint: %w", err)
+	}
+	// Decode and re-encode through a map: encoding/json sorts map keys, so
+	// the byte stream is canonical regardless of struct field order.
+	// UseNumber keeps 64-bit seeds as exact literals — float64 round-trips
+	// would collapse seeds that differ only beyond 2^53.
+	var m map[string]any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&m); err != nil {
+		return "", fmt.Errorf("scenario: fingerprint: %w", err)
+	}
+	canon, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}

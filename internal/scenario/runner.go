@@ -50,6 +50,12 @@ type Runner struct {
 	// snapshots, custom progress reporting). Setting it moves the run
 	// onto the instrumented step-by-step path.
 	StepHook func(net *sim.Network, step int)
+	// Sink, when set, receives every executed run's step samples, spans
+	// and fault events, in addition to any Spec.MetricsOut file sink.
+	// Sweep executes scenarios concurrently, so a Sink shared across a
+	// sweep must be safe for concurrent use (obs.Counters is; obs.Memory
+	// is not).
+	Sink obs.Sink
 }
 
 // Run builds and executes one spec. See RunBuilt for the error contract.
@@ -78,7 +84,14 @@ func (r *Runner) RunBuilt(ctx context.Context, run *Run) (*Result, error) {
 		}
 		sinkOut = f
 		sink = obs.NewJSONL(f)
+	}
+	switch {
+	case sink != nil && r.Sink != nil:
+		net.SetMetricsSink(obs.Multi{sink, r.Sink})
+	case sink != nil:
 		net.SetMetricsSink(sink)
+	case r.Sink != nil:
+		net.SetMetricsSink(r.Sink)
 	}
 	var rec *trace.Recorder
 	var traceOut *os.File
@@ -186,13 +199,20 @@ func (r *Runner) stepLoop(ctx context.Context, run *Run, alg sim.Algorithm) (int
 // wide) and returns results in input order. Cells that had not started
 // when the context was canceled come back nil; cells interrupted mid-run
 // carry a *sim.CanceledError in their Result.Err. The returned error
-// reports the first setup failure, if any — cancellation itself is not an
-// error, so callers can print the partial table.
+// reports the first (lowest-index) setup failure, wrapped with the
+// offending spec's index and label so a failed cell in a large batch is
+// attributable; the underlying cause (e.g. *ValidationError) stays
+// reachable through errors.As. Cancellation itself is not an error, so
+// callers can print the partial table.
 func (r *Runner) Sweep(ctx context.Context, specs []*Spec) ([]*Result, error) {
 	return par.Map(len(specs), r.Workers, func(i int) (*Result, error) {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, nil
 		}
-		return r.Run(ctx, specs[i])
+		res, err := r.Run(ctx, specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec %d (%s): %w", i, specs[i].describe(), err)
+		}
+		return res, nil
 	})
 }

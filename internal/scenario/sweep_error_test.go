@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"meshroute/internal/obs"
+)
+
+// TestSweepMidBatchFailure checks that a spec failing validation partway
+// through a sweep surfaces as an indexed, typed error while the healthy
+// cells still produce results.
+func TestSweepMidBatchFailure(t *testing.T) {
+	specs := []*Spec{
+		{Name: "ok-a", N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}},
+		{Name: "broken", N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: "no-such-kind"}},
+		{Name: "ok-b", N: 6, K: 1, Router: "thm15", Workload: Workload{Kind: KindReversal}},
+	}
+	var r Runner
+	results, err := r.Sweep(context.Background(), specs)
+	if err == nil {
+		t.Fatal("sweep with an invalid spec returned no error")
+	}
+	if !strings.Contains(err.Error(), "sweep spec 1 (broken)") {
+		t.Fatalf("error does not name the failing spec index: %v", err)
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Field != "workload.kind" {
+		t.Fatalf("underlying *ValidationError not reachable: %v", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	if results[1] != nil {
+		t.Fatal("failed cell produced a result")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil || results[i].Err != nil || !results[i].Stats.Done {
+			t.Fatalf("healthy cell %d did not complete: %+v", i, results[i])
+		}
+	}
+}
+
+// TestSweepFirstErrorWins checks that with several failing cells the
+// lowest-index failure is the one reported.
+func TestSweepFirstErrorWins(t *testing.T) {
+	bad := func(name string) *Spec {
+		return &Spec{Name: name, N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: "bogus"}}
+	}
+	specs := []*Spec{
+		{Name: "ok", N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose}},
+		bad("first-broken"),
+		bad("second-broken"),
+	}
+	var r Runner
+	_, err := r.Sweep(context.Background(), specs)
+	if err == nil || !strings.Contains(err.Error(), "sweep spec 1 (first-broken)") {
+		t.Fatalf("expected the index-1 failure to win, got: %v", err)
+	}
+}
+
+// TestRunnerSinkAttachment checks that Runner.Sink receives the run's
+// per-step samples without a metrics_out file configured.
+func TestRunnerSinkAttachment(t *testing.T) {
+	mem := &obs.Memory{}
+	r := Runner{Sink: mem}
+	res, err := r.Run(context.Background(), &Spec{
+		N: 6, K: 2, Router: "dimorder", Workload: Workload{Kind: KindTranspose},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || !res.Stats.Done {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if len(mem.Steps) != res.Steps {
+		t.Fatalf("sink saw %d samples over %d steps", len(mem.Steps), res.Steps)
+	}
+	if mem.Steps[len(mem.Steps)-1].DeliveredTotal != res.Stats.Delivered {
+		t.Fatalf("delivery curve tail %d != delivered %d",
+			mem.Steps[len(mem.Steps)-1].DeliveredTotal, res.Stats.Delivered)
+	}
+}

@@ -1,0 +1,627 @@
+// Package service is the long-running control plane of the reproduction:
+// an HTTP simulation service (cmd/meshrouted) that accepts scenario specs,
+// executes them on a bounded worker pool behind a FIFO job queue, and
+// serves results, operational metrics and per-step event streams.
+//
+// The admission discipline mirrors the bounded-buffer routing the
+// repository studies: capacity is explicit (worker pool width, queue
+// depth), arrivals beyond capacity are refused immediately (HTTP 429)
+// rather than buffered without bound, and every admitted job is eventually
+// served or deliberately dropped (canceled). A content-addressed result
+// cache keyed by scenario.Spec.Fingerprint exploits the engine's
+// determinism: a resubmitted spec is answered from the cache without
+// simulating at all.
+//
+// See docs/SERVICE.md for the API reference, job lifecycle, cache
+// semantics and the backpressure contract.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"meshroute/internal/obs"
+	"meshroute/internal/scenario"
+	"meshroute/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers is the simulation worker-pool width — the number of jobs
+	// running concurrently. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth is the FIFO job-queue capacity. Submissions that would
+	// exceed it are refused with HTTP 429. Default: 64.
+	QueueDepth int
+	// CacheSize is the result cache's capacity in entries; negative
+	// disables caching. Default: 256.
+	CacheSize int
+	// MaxJobSteps, when positive, rejects (HTTP 400) any spec whose
+	// effective step budget — max_steps, the automatic budget, or a
+	// dynamic workload's horizon — exceeds it. The budget is never
+	// silently clamped: that would change what the spec means.
+	MaxJobSteps int
+	// EventBuffer is the per-job cap on buffered NDJSON event records;
+	// further step samples are counted as dropped. Default: 65536.
+	EventBuffer int
+	// RetainJobs bounds the in-memory job registry; the oldest terminal
+	// jobs are evicted past it. Default: 4096.
+	RetainJobs int
+}
+
+// Server is the simulation service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	counters *obs.Counters
+	cache    *cache
+	queue    chan *job
+	stop     chan struct{}
+	workerWg sync.WaitGroup
+
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+
+	mu       sync.Mutex
+	idleCond *sync.Cond
+	jobs     map[string]*job
+	jobOrder []string
+	nextID   int
+	active   int // admitted, not yet terminal (cache hits never count)
+	draining bool
+
+	shutdownOnce sync.Once
+	start        time.Time
+
+	// Test seams (nil in production): testJobStart runs after a job
+	// transitions to running, before the simulation; testStepHook is
+	// installed as the job Runner's StepHook.
+	testJobStart func(j *job)
+	testStepHook func(id string, step int)
+}
+
+// New creates a Server with cfg (zero fields defaulted) and starts its
+// worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 65536
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 4096
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		counters: &obs.Counters{},
+		cache:    newCache(cfg.CacheSize),
+		queue:    make(chan *job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		jobs:     make(map[string]*job),
+		start:    time.Now(),
+	}
+	s.idleCond = sync.NewCond(&s.mu)
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: new submissions are refused (503), jobs
+// already admitted keep running until they finish or ctx expires —
+// whichever comes first — and expiry cancels them (they retire as
+// canceled with partial stats, like a DELETE). The worker pool exits
+// before Shutdown returns, so a returned Shutdown means no service
+// goroutines remain. Safe to call once; concurrent callers block until
+// the first call completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+
+		idle := make(chan struct{})
+		go func() {
+			s.mu.Lock()
+			for s.active > 0 {
+				s.idleCond.Wait()
+			}
+			s.mu.Unlock()
+			close(idle)
+		}()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			s.jobsCancel() // abort running jobs between engine steps
+			<-idle
+		}
+		close(s.stop)
+		s.workerWg.Wait()
+		s.jobsCancel()
+	})
+	return nil
+}
+
+// WaitJob blocks until the job reaches a terminal state (or ctx is
+// canceled) and returns its status; ok is false for an unknown id.
+func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, bool) {
+	j := s.lookup(id)
+	if j == nil {
+		return JobStatus{}, false
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	return j.status(), true
+}
+
+// Counters returns the shared engine-counter sink (total steps, moves,
+// deliveries across all jobs).
+func (s *Server) Counters() *obs.Counters { return s.counters }
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// jobDone is every job's onDone callback: it balances the active count
+// and wakes Shutdown when the service goes idle.
+func (s *Server) jobDone() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.idleCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// worker executes queued jobs until the stop channel closes; any jobs
+// still queued at that point (only possible if Shutdown's accounting has
+// already retired them) are drained defensively.
+func (s *Server) worker() {
+	defer s.workerWg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.stop:
+			for {
+				select {
+				case j := <-s.queue:
+					j.finish(StateCanceled, nil, "server shut down before the job started", "")
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runJob executes one job through the scenario Runner, feeding the shared
+// counters and the job's event stream, and retires it.
+func (s *Server) runJob(j *job) {
+	if !j.start() {
+		return // canceled while queued; already retired
+	}
+	if j.ctx.Err() != nil {
+		j.finish(StateCanceled, nil, "canceled before the job started", "")
+		return
+	}
+	if s.testJobStart != nil {
+		s.testJobStart(j)
+	}
+	runner := scenario.Runner{Sink: obs.Multi{s.counters, j.stream}}
+	if s.testStepHook != nil {
+		hook, jobID := s.testStepHook, j.id
+		runner.StepHook = func(net *sim.Network, step int) { hook(jobID, step) }
+	}
+	res, err := runner.Run(j.ctx, j.spec)
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error(), "")
+		return
+	}
+	stats := toStats(res.Stats)
+	if res.Err != nil {
+		diag := fmt.Sprintf("%s", res.Net.CollectDiagnostics())
+		var cerr *sim.CanceledError
+		if errors.As(res.Err, &cerr) {
+			j.finish(StateCanceled, &stats, res.Err.Error(), diag)
+		} else {
+			j.finish(StateFailed, &stats, res.Err.Error(), diag)
+		}
+		return
+	}
+	s.cache.put(j.fingerprint, stats)
+	j.finish(StateDone, &stats, "", "")
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response write errors are the client's problem
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admission is one submitted spec with its fingerprint and cache outcome.
+type admission struct {
+	spec *scenario.Spec
+	fp   string
+	hit  bool
+	st   Stats
+}
+
+// vetSpec applies the service's submission policy to one parsed spec.
+func (s *Server) vetSpec(spec *scenario.Spec) error {
+	if spec.MetricsOut != "" || spec.TraceOut != "" {
+		return fmt.Errorf("metrics_out/trace_out are server-side file paths and are not accepted; stream GET /v1/jobs/{id}/events instead")
+	}
+	if s.cfg.MaxJobSteps > 0 {
+		budget := spec.MaxSteps
+		if spec.Workload.Dynamic() {
+			budget = spec.Workload.Horizon
+		} else if budget == 0 {
+			budget = 200 * (spec.N*spec.N/spec.K + 2*spec.N)
+		}
+		if budget > s.cfg.MaxJobSteps {
+			return fmt.Errorf("step budget %d exceeds the server's per-job cap %d", budget, s.cfg.MaxJobSteps)
+		}
+	}
+	return nil
+}
+
+// handleSubmit is POST /v1/jobs: one spec object, or an array of specs (a
+// sweep). Sweeps are admitted all-or-nothing: if the queue cannot hold
+// every cache-missing spec, nothing is enqueued and the whole submission
+// gets the 429.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var specs []*scenario.Spec
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var raws []json.RawMessage
+		if err := json.Unmarshal(trimmed, &raws); err != nil {
+			writeError(w, http.StatusBadRequest, "parse sweep: %v", err)
+			return
+		}
+		if len(raws) == 0 {
+			writeError(w, http.StatusBadRequest, "empty sweep")
+			return
+		}
+		for i, raw := range raws {
+			spec, err := scenario.Parse(raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "sweep spec %d: %v", i, err)
+				return
+			}
+			specs = append(specs, spec)
+		}
+	} else {
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		specs = []*scenario.Spec{spec}
+	}
+
+	adms := make([]admission, len(specs))
+	for i, spec := range specs {
+		if err := s.vetSpec(spec); err != nil {
+			writeError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		adms[i] = admission{spec: spec, fp: fp}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	var hits, misses int64
+	for i := range adms {
+		adms[i].st, adms[i].hit = s.cache.lookup(adms[i].fp)
+		if adms[i].hit {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if free := s.cfg.QueueDepth - len(s.queue); int64(free) < misses {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"queue full: %d of %d slots free, submission needs %d", s.cfg.QueueDepth-len(s.queue), s.cfg.QueueDepth, misses)
+		return
+	}
+	s.cache.record(hits, misses)
+	statuses := make([]JobStatus, len(adms))
+	for i, adm := range adms {
+		statuses[i] = s.admitLocked(adm)
+	}
+	s.evictJobsLocked()
+	s.mu.Unlock()
+
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		writeJSON(w, http.StatusAccepted, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{statuses})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statuses[0])
+}
+
+// admitLocked registers one admitted spec as a job (caller holds s.mu and
+// has reserved queue capacity for misses).
+func (s *Server) admitLocked(adm admission) JobStatus {
+	s.nextID++
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	now := time.Now()
+	if adm.hit {
+		st := adm.st
+		j := &job{
+			id:          id,
+			spec:        adm.spec,
+			fingerprint: adm.fp,
+			cancel:      func() {},
+			stream:      newStream(0),
+			state:       StateDone,
+			cacheHit:    true,
+			stats:       &st,
+			created:     now,
+			started:     now,
+			finished:    now,
+			done:        make(chan struct{}),
+		}
+		close(j.done)
+		j.stream.close()
+		s.jobs[id] = j
+		s.jobOrder = append(s.jobOrder, id)
+		return j.status()
+	}
+	ctx, cancel := context.WithCancel(s.jobsCtx)
+	j := &job{
+		id:          id,
+		spec:        adm.spec,
+		fingerprint: adm.fp,
+		ctx:         ctx,
+		cancel:      cancel,
+		stream:      newStream(s.cfg.EventBuffer),
+		onDone:      s.jobDone,
+		state:       StateQueued,
+		created:     now,
+		done:        make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.jobOrder = append(s.jobOrder, id)
+	s.active++
+	s.queue <- j // capacity reserved under s.mu; never blocks
+	return j.status()
+}
+
+// evictJobsLocked trims the registry to RetainJobs by dropping the oldest
+// terminal jobs (running and queued jobs are never evicted).
+func (s *Server) evictJobsLocked() {
+	if len(s.jobs) <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		if len(s.jobs) > s.cfg.RetainJobs && s.jobs[id].currentState().Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// handleList is GET /v1/jobs: every retained job in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		statuses = append(statuses, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{statuses})
+}
+
+// handleGet is GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleDelete is DELETE /v1/jobs/{id}: cancel. A queued job retires
+// immediately; a running job's context is canceled and it retires with
+// partial stats via the Runner's *sim.CanceledError. Terminal jobs are a
+// 409 — there is nothing left to cancel.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if j.currentState().Terminal() {
+		writeJSON(w, http.StatusConflict, j.status())
+		return
+	}
+	j.cancelRequest()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: an NDJSON replay-then-follow
+// stream of the job's per-step samples and fault events in the
+// docs/OBSERVABILITY.md wire format. The response ends when the job
+// retires; cache-hit jobs stream nothing (no simulation ran).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	stop := context.AfterFunc(r.Context(), j.stream.wake)
+	defer stop()
+	for i := 0; ; i++ {
+		line, ok := j.stream.next(r.Context(), i)
+		if !ok {
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// healthBody is the JSON shape of GET /healthz.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleHealthz is GET /healthz: 200 "ok" while accepting work, 503
+// "draining" once Shutdown has begun.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	body := healthBody{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()}
+	code := http.StatusOK
+	if draining {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// Metrics is the JSON shape of GET /metrics: jobs by state, queue
+// occupancy, cache effectiveness and aggregate engine throughput (fed by
+// the shared obs.Counters sink).
+type Metrics struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Draining      bool          `json:"draining"`
+	Jobs          map[State]int `json:"jobs"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Cache         CacheMetrics  `json:"cache"`
+	Engine        EngineMetrics `json:"engine"`
+}
+
+// CacheMetrics describes the result cache.
+type CacheMetrics struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  int     `json:"entries"`
+}
+
+// EngineMetrics aggregates simulation throughput across every job.
+type EngineMetrics struct {
+	StepsTotal       int64   `json:"steps_total"`
+	MovesTotal       int64   `json:"moves_total"`
+	DeliveredTotal   int64   `json:"delivered_total"`
+	FaultEventsTotal int64   `json:"fault_events_total"`
+	StepsPerSec      float64 `json:"steps_per_sec"`
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start).Seconds()
+	m := Metrics{
+		UptimeSeconds: uptime,
+		Jobs: map[State]int{
+			StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0,
+		},
+		QueueCapacity: s.cfg.QueueDepth,
+	}
+	s.mu.Lock()
+	m.Draining = s.draining
+	m.QueueDepth = len(s.queue)
+	for _, j := range s.jobs {
+		m.Jobs[j.currentState()]++
+	}
+	s.mu.Unlock()
+	hits, misses, size := s.cache.stats()
+	m.Cache = CacheMetrics{Hits: hits, Misses: misses, Entries: size}
+	if lookups := hits + misses; lookups > 0 {
+		m.Cache.HitRatio = float64(hits) / float64(lookups)
+	}
+	m.Engine = EngineMetrics{
+		StepsTotal:       s.counters.Steps(),
+		MovesTotal:       s.counters.Moves(),
+		DeliveredTotal:   s.counters.Delivered(),
+		FaultEventsTotal: s.counters.Events(),
+	}
+	if uptime > 0 {
+		m.Engine.StepsPerSec = float64(m.Engine.StepsTotal) / uptime
+	}
+	writeJSON(w, http.StatusOK, m)
+}

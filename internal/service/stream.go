@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"meshroute/internal/obs"
+)
+
+// stream is one job's NDJSON event buffer: the running job appends
+// metrics-JSONL lines (the docs/OBSERVABILITY.md wire format) through the
+// obs.Sink interface, and any number of HTTP followers replay the buffer
+// from the start and then block for new lines until the job retires. The
+// buffer is bounded; once full, further step samples are counted as
+// dropped instead of growing without limit.
+type stream struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	lines   [][]byte
+	dropped int
+	closed  bool
+	limit   int
+}
+
+func newStream(limit int) *stream {
+	s := &stream{limit: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// append adds one encoded line (already newline-terminated), dropping it
+// if the buffer is full.
+func (s *stream) append(line []byte, err error) {
+	if err != nil {
+		return // an unencodable record is dropped, never fatal to the run
+	}
+	s.mu.Lock()
+	if len(s.lines) >= s.limit {
+		s.dropped++
+	} else {
+		s.lines = append(s.lines, line)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Step implements obs.Sink.
+func (s *stream) Step(sample obs.StepSample) { s.append(obs.StepLine(sample)) }
+
+// Span implements obs.Sink.
+func (s *stream) Span(sp obs.Span) { s.append(obs.SpanLine(sp)) }
+
+// Event implements obs.EventSink.
+func (s *stream) Event(e obs.Event) { s.append(obs.EventLine(e)) }
+
+// close marks the stream complete and wakes every follower. Idempotent.
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// wake prods blocked followers so they can notice a canceled request
+// context (install with context.AfterFunc).
+func (s *stream) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// counts returns the buffered and dropped line counts.
+func (s *stream) counts() (buffered, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lines), s.dropped
+}
+
+// next returns line i, blocking until it exists, the stream closes, or
+// ctx is canceled (callers must arrange a wake on cancellation). ok=false
+// means no more lines will come.
+func (s *stream) next(ctx context.Context, i int) (line []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i >= len(s.lines) && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if i < len(s.lines) {
+		return s.lines[i], true
+	}
+	return nil, false
+}
