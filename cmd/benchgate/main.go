@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	go test ./internal/sim -bench 'StepDense|StepSparse' -benchmem -count 5 -run '^$' > current.txt
+//	go test ./internal/sim -bench 'StepDense|StepSparse|StepTorus' -benchmem -count 5 -run '^$' -timeout 60m > current.txt
 //	go run ./cmd/benchgate -baseline out/BENCH_BASELINE.txt -current current.txt
 //
 // Regenerate the baseline (after an intended perf change, on the same
@@ -92,7 +92,7 @@ func main() {
 	baseline := flag.String("baseline", "out/BENCH_BASELINE.txt", "committed baseline `go test -bench` output")
 	current := flag.String("current", "", "current `go test -bench` output (required)")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed ns/op regression, percent")
-	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink", "comma-separated benchmarks required to report 0 allocs/op")
+	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,BenchmarkStepTorus/n1024/w1", "comma-separated benchmarks required to report 0 allocs/op")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")

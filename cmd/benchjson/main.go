@@ -1,13 +1,15 @@
 // Command benchjson runs one representative cell per experiment of the
 // reproduction (E1–E14, the same shapes as the root bench_test.go
-// benchmarks, at quick sizes) and writes the measurements as machine-
-// readable JSON — the repo's perf trajectory file. Each cell reports
-// wall time, engine steps, ns/step, makespan, peak queue occupancy, and
-// allocation counts; the schema is documented in docs/OBSERVABILITY.md.
+// benchmarks, at quick sizes) plus the engine scaling matrix (S cells:
+// n×workers on the torus, n ∈ {64, 256, 1024}, workers ∈ {1, 2, 4, 8})
+// and writes the measurements as machine-readable JSON — the repo's perf
+// trajectory file. Each cell reports wall time, engine steps, ns/step,
+// makespan, peak queue occupancy, and allocation counts; the schema is
+// documented in docs/OBSERVABILITY.md.
 //
 // Usage:
 //
-//	benchjson                       # writes out/BENCH_PR1.json
+//	benchjson                       # writes out/BENCH_PR6.json
 //	benchjson -out my.json -label x # custom output path and label
 //	benchjson -workers 4            # parallel cells (wall/alloc numbers noisy)
 //
@@ -46,7 +48,8 @@ const Schema = "meshroute-bench/v1"
 // CellResult is one cell's measurements (the "cells" array element of the
 // BENCH json schema).
 type CellResult struct {
-	// ID is the experiment the cell represents (E1..E14).
+	// ID is the experiment the cell represents: E1..E14 for the paper's
+	// experiments, or S<n>w<workers> for the engine scaling matrix.
 	ID string `json:"id"`
 	// Name describes the concrete instance (router, n, k, workload).
 	Name string `json:"name"`
@@ -74,14 +77,15 @@ type CellResult struct {
 type Output struct {
 	// Schema identifies the format version.
 	Schema string `json:"schema"`
-	// Label tags the run (e.g. "PR1").
+	// Label tags the run (e.g. "PR6").
 	Label string `json:"label"`
 	// Go is the toolchain version the run was built with.
 	Go string `json:"go"`
 	// Workers is the cell-level parallelism the run used (timings are
 	// exact only at 1).
 	Workers int `json:"workers"`
-	// Cells holds one entry per experiment cell, in E1..E14 order.
+	// Cells holds one entry per cell: E1..E14 in order, then the
+	// S<n>w<workers> scaling matrix.
 	Cells []CellResult `json:"cells"`
 }
 
@@ -309,13 +313,42 @@ func cells() []cell {
 	}
 }
 
+// scaleCells is the n×workers engine scaling matrix: a fully loaded
+// transpose permutation on the torus (one packet per node, 4K / 65K / 1M
+// packets) stepped for n/2 steps — below the makespan, so every step runs
+// saturated and ns/step measures the steady-state per-packet cost at each
+// size and worker count. docs/SCALING.md reads its numbers from these
+// cells.
+func scaleCells() []cell {
+	var cs []cell
+	for _, n := range []int{64, 256, 1024} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			n, workers := n, workers
+			cs = append(cs, cell{
+				id:   fmt.Sprintf("S%dw%d", n, workers),
+				name: fmt.Sprintf("scale-zigzag-torus-n%d-w%d-k4", n, workers),
+				run: func() (stats, error) {
+					return specCell(&scenario.Spec{
+						Topology: scenario.TopoTorus,
+						N:        n, K: 4, Router: "zigzag",
+						Workers:  workers,
+						Workload: scenario.Workload{Kind: scenario.KindTranspose},
+						MaxSteps: n / 2,
+					}, false)
+				},
+			})
+		}
+	}
+	return cs
+}
+
 func main() {
-	out := flag.String("out", filepath.Join("out", "BENCH_PR1.json"), "output path for the BENCH json")
-	label := flag.String("label", "PR1", "label recorded in the output")
+	out := flag.String("out", filepath.Join("out", "BENCH_PR6.json"), "output path for the BENCH json")
+	label := flag.String("label", "PR6", "label recorded in the output")
 	workers := flag.Int("workers", 1, "cell-level parallelism (timings and alloc counts are exact only at 1)")
 	flag.Parse()
 
-	cs := cells()
+	cs := append(cells(), scaleCells()...)
 	results := make([]CellResult, len(cs))
 	_, err := par.Map(len(cs), *workers, func(i int) (struct{}, error) {
 		c := cs[i]

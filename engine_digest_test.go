@@ -192,7 +192,7 @@ func TestEngineGoldenDigestsParallel(t *testing.T) {
 	}
 	pinned := loadDigests(t)
 	specs := loadScenarios(t)
-	for _, workers := range []int{2, 4} {
+	for _, workers := range []int{2, 4, 8} {
 		for _, spec := range specs {
 			if undigestedScenarios[spec.Name] {
 				continue

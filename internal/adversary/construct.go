@@ -69,7 +69,7 @@ type Construction struct {
 	Delta int
 
 	// kindIdx maps (kind, i) to the packets currently in that role.
-	kindIdx map[kindKey][]*sim.Packet
+	kindIdx map[kindKey][]sim.PacketID
 
 	disableExchanges bool
 	err              error
@@ -320,7 +320,7 @@ func (c *Construction) Run(alg sim.Algorithm) (*Result, error) {
 		CheckInvariants: true,
 	})
 
-	c.kindIdx = make(map[kindKey][]*sim.Packet)
+	c.kindIdx = make(map[kindKey][]sim.PacketID)
 	usedSrc := map[grid.NodeID]bool{}
 	usedDst := map[grid.NodeID]bool{}
 	perSrc := map[grid.NodeID]int{}
@@ -328,8 +328,8 @@ func (c *Construction) Run(alg sim.Algorithm) (*Result, error) {
 		src := c.node(re.src.X, re.src.Y)
 		dst := c.node(re.dst.X, re.dst.Y)
 		pk := net.NewPacket(src, dst)
-		pk.Class = uint8(re.kind)
-		pk.Tag = int32(re.i)
+		net.P.Class[pk] = uint8(re.kind)
+		net.P.Tag[pk] = int32(re.i)
 		// The first K packets of a node fit its queue; extras enter
 		// via the dynamic injection backlog (h-h with h > k).
 		if perSrc[src] < netK {
@@ -430,12 +430,12 @@ func (c *Construction) exchangeHook(net *sim.Network, step int, moves []sim.Move
 	}
 	// Scheduled targets, for partner eligibility ("not scheduled to enter
 	// the N_i-column").
-	sched := make(map[*sim.Packet]grid.Coord, len(moves))
+	sched := make(map[sim.PacketID]grid.Coord, len(moves))
 	for _, m := range moves {
 		sched[m.P] = c.local(m.To)
 	}
 	for _, m := range moves {
-		kind, j := c.kindOf(m.P.Dst)
+		kind, j := c.kindOf(net.P.Dst[m.P])
 		if kind == KindNone {
 			continue
 		}
@@ -446,7 +446,7 @@ func (c *Construction) exchangeHook(net *sim.Network, step int, moves []sim.Move
 		if i := to.X - cn + 2; i >= 1 && i <= l && to.Y < to.X && step <= i*c.Par.DN {
 			// EX2: N_j, j > i.  EX3: E_j, j >= i.
 			if (kind == KindN && j > i) || (kind == KindE && j >= i) {
-				c.exchange(m.P, KindN, i, kind, j, sched, step)
+				c.exchange(net, m.P, KindN, i, kind, j, sched, step)
 				continue
 			}
 		}
@@ -454,7 +454,7 @@ func (c *Construction) exchangeHook(net *sim.Network, step int, moves []sim.Move
 		if i := to.Y - cn + 2; i >= 1 && i <= l && to.X < to.Y && step <= i*c.Par.DN {
 			// EX1: E_j, j > i.  EX4: N_j, j >= i.
 			if (kind == KindE && j > i) || (kind == KindN && j >= i) {
-				c.exchange(m.P, KindE, i, kind, j, sched, step)
+				c.exchange(net, m.P, KindE, i, kind, j, sched, step)
 			}
 		}
 	}
@@ -463,15 +463,16 @@ func (c *Construction) exchangeHook(net *sim.Network, step int, moves []sim.Move
 // exchange swaps the destination of p with an eligible partner of kind
 // (wantKind, i): a packet in the (i-1)-box not scheduled to enter the
 // N_i-column (for KindN) or the E_i-row (for KindE).
-func (c *Construction) exchange(p *sim.Packet, wantKind Kind, i int, pKind Kind, pIdx int, sched map[*sim.Packet]grid.Coord, step int) {
+func (c *Construction) exchange(net *sim.Network, p sim.PacketID, wantKind Kind, i int, pKind Kind, pIdx int, sched map[sim.PacketID]grid.Coord, step int) {
+	st := &net.P
 	key := kindKey{wantKind, i}
-	var partner *sim.Packet
+	partner := sim.NoPacket
 	var pi int
 	for idx, q := range c.kindIdx[key] {
-		if q == p || q.Delivered() {
+		if q == p || st.Delivered(q) {
 			continue
 		}
-		if !c.inBox(c.local(q.At), i-1) {
+		if !c.inBox(c.local(st.At[q]), i-1) {
 			continue
 		}
 		if tgt, ok := sched[q]; ok {
@@ -486,15 +487,15 @@ func (c *Construction) exchange(p *sim.Packet, wantKind Kind, i int, pKind Kind,
 		pi = idx
 		break
 	}
-	if partner == nil {
+	if partner == sim.NoPacket {
 		c.err = fmt.Errorf("adversary: step %d: no eligible %v_%d partner for %v_%d packet %d (Lemma 3/4 violated — construction bug)",
-			step, wantKind, i, pKind, pIdx, p.ID)
+			step, wantKind, i, pKind, pIdx, p.ID())
 		return
 	}
 	// Swap destinations (and, equivalently, roles).
-	p.Dst, partner.Dst = partner.Dst, p.Dst
-	p.Class, partner.Class = partner.Class, p.Class
-	p.Tag, partner.Tag = partner.Tag, p.Tag
+	st.Dst[p], st.Dst[partner] = st.Dst[partner], st.Dst[p]
+	st.Class[p], st.Class[partner] = st.Class[partner], st.Class[p]
+	st.Tag[p], st.Tag[partner] = st.Tag[partner], st.Tag[p]
 	// Update the role index: p takes partner's slot and vice versa.
 	pkey := kindKey{pKind, pIdx}
 	c.kindIdx[key][pi] = p

@@ -73,7 +73,7 @@ type DOConstruction struct {
 	// Construction.NetK.
 	NetK int
 
-	kindIdx [][]*sim.Packet // class i -> packets currently of class i
+	kindIdx [][]sim.PacketID // class i -> packets currently of class i
 	err     error
 	exchg   int
 	prevIn  []int
@@ -144,7 +144,7 @@ func (c *DOConstruction) Run(alg sim.Algorithm) (*Result, error) {
 		RequireMinimal:  true,
 		CheckInvariants: true,
 	})
-	c.kindIdx = make([][]*sim.Packet, par.L+1)
+	c.kindIdx = make([][]sim.PacketID, par.L+1)
 
 	// Sources row-major through the band; classes in ascending blocks of
 	// p. Destinations: class i gets unique rows cn..cn+p-1 in its column.
@@ -154,8 +154,8 @@ func (c *DOConstruction) Run(alg sim.Algorithm) (*Result, error) {
 		for x := 0; x < par.N-par.CN && count < par.L*par.P; x++ {
 			i := 1 + count/par.P
 			pk := net.NewPacket(c.node(x, y), c.node(c.nCol(i), par.CN+tPer[i]))
-			pk.Class = uint8(KindN)
-			pk.Tag = int32(i)
+			net.P.Class[pk] = uint8(KindN)
+			net.P.Tag[pk] = int32(i)
 			if err := net.Place(pk); err != nil {
 				return nil, err
 			}
@@ -210,12 +210,13 @@ func (c *DOConstruction) exchangeHook(net *sim.Network, step int, moves []sim.Mo
 	if c.err != nil {
 		return
 	}
-	sched := make(map[*sim.Packet]grid.Coord, len(moves))
+	st := &net.P
+	sched := make(map[sim.PacketID]grid.Coord, len(moves))
 	for _, m := range moves {
 		sched[m.P] = c.local(m.To)
 	}
 	for _, m := range moves {
-		j := c.classOf(m.P.Dst)
+		j := c.classOf(st.Dst[m.P])
 		if j == 0 {
 			continue
 		}
@@ -229,10 +230,10 @@ func (c *DOConstruction) exchangeHook(net *sim.Network, step int, moves []sim.Mo
 		}
 		// Exchange with an N_i-packet in the (i-1)-box not scheduled to
 		// enter the N_i-column.
-		var partner *sim.Packet
+		partner := sim.NoPacket
 		var pidx int
 		for idx, q := range c.kindIdx[i] {
-			if q == m.P || q.Delivered() || !c.inBox(c.local(q.At), i-1) {
+			if q == m.P || st.Delivered(q) || !c.inBox(c.local(st.At[q]), i-1) {
 				continue
 			}
 			if tgt, ok := sched[q]; ok && tgt.X == c.nCol(i) {
@@ -242,12 +243,12 @@ func (c *DOConstruction) exchangeHook(net *sim.Network, step int, moves []sim.Mo
 			pidx = idx
 			break
 		}
-		if partner == nil {
+		if partner == sim.NoPacket {
 			c.err = fmt.Errorf("adversary: step %d: no eligible N_%d partner (dim-order Lemma 3 analog violated)", step, i)
 			return
 		}
-		m.P.Dst, partner.Dst = partner.Dst, m.P.Dst
-		m.P.Tag, partner.Tag = partner.Tag, m.P.Tag
+		st.Dst[m.P], st.Dst[partner] = st.Dst[partner], st.Dst[m.P]
+		st.Tag[m.P], st.Tag[partner] = st.Tag[partner], st.Tag[m.P]
 		c.kindIdx[i][pidx] = m.P
 		for idx, q := range c.kindIdx[j] {
 			if q == m.P {

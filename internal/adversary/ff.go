@@ -74,7 +74,7 @@ type FFConstruction struct {
 	// Verify enables invariant checks (row sortedness, box containment).
 	Verify bool
 
-	kindIdx [][]*sim.Packet
+	kindIdx [][]sim.PacketID
 	err     error
 	exchg   int
 }
@@ -121,7 +121,7 @@ func (c *FFConstruction) Run(alg sim.Algorithm) (*Result, error) {
 		RequireMinimal:  true,
 		CheckInvariants: true,
 	})
-	c.kindIdx = make([][]*sim.Packet, par.L+1)
+	c.kindIdx = make([][]sim.PacketID, par.L+1)
 
 	// Classes assigned east to west so that, within every row, class
 	// indices are nondecreasing westward (invariant (b)), and no
@@ -141,8 +141,8 @@ func (c *FFConstruction) Run(alg sim.Algorithm) (*Result, error) {
 				continue
 			}
 			pk := net.NewPacket(src, c.Topo.ID(grid.XY(c.nCol(i), par.CN+tPer[i])))
-			pk.Class = uint8(KindN)
-			pk.Tag = int32(i)
+			net.P.Class[pk] = uint8(KindN)
+			net.P.Tag[pk] = int32(i)
 			if err := net.Place(pk); err != nil {
 				return nil, err
 			}
@@ -195,12 +195,13 @@ func (c *FFConstruction) exchangeHook(net *sim.Network, step int, moves []sim.Mo
 	if c.err != nil {
 		return
 	}
-	sched := make(map[*sim.Packet]grid.Coord, len(moves))
+	st := &net.P
+	sched := make(map[sim.PacketID]grid.Coord, len(moves))
 	for _, m := range moves {
 		sched[m.P] = c.Topo.CoordOf(m.To)
 	}
 	for _, m := range moves {
-		j := c.classOf(m.P.Dst)
+		j := c.classOf(st.Dst[m.P])
 		if j < 2 {
 			continue
 		}
@@ -212,34 +213,34 @@ func (c *FFConstruction) exchangeHook(net *sim.Network, step int, moves []sim.Mo
 		}
 		// Partner: westernmost-in-its-row N_{j-1}-packet in the
 		// (j+1)-box not scheduled to enter the N_j-column.
-		var partner *sim.Packet
+		partner := sim.NoPacket
 		var pidx int
 		for idx, qp := range c.kindIdx[j-1] {
-			if qp == m.P || qp.Delivered() {
+			if qp == m.P || st.Delivered(qp) {
 				continue
 			}
-			lc := c.Topo.CoordOf(qp.At)
+			lc := c.Topo.CoordOf(st.At[qp])
 			if !c.inBox(lc, j+1) {
 				continue
 			}
 			if tgt, ok := sched[qp]; ok && tgt.X == c.nCol(j) {
 				continue
 			}
-			if partner == nil {
+			if partner == sim.NoPacket {
 				partner, pidx = qp, idx
 				continue
 			}
-			plc := c.Topo.CoordOf(partner.At)
+			plc := c.Topo.CoordOf(st.At[partner])
 			if lc.X < plc.X || (lc.X == plc.X && lc.Y < plc.Y) {
 				partner, pidx = qp, idx
 			}
 		}
-		if partner == nil {
+		if partner == sim.NoPacket {
 			c.err = fmt.Errorf("adversary: step %d: no eligible N_%d partner (ff construction)", step, j-1)
 			return
 		}
-		m.P.Dst, partner.Dst = partner.Dst, m.P.Dst
-		m.P.Tag, partner.Tag = partner.Tag, m.P.Tag
+		st.Dst[m.P], st.Dst[partner] = st.Dst[partner], st.Dst[m.P]
+		st.Tag[m.P], st.Tag[partner] = st.Tag[partner], st.Tag[m.P]
 		c.kindIdx[j-1][pidx] = m.P
 		for idx, qp := range c.kindIdx[j] {
 			if qp == m.P {

@@ -11,6 +11,16 @@
 // that exchanging the destinations of two packets with identical profitable
 // outlinks is invisible to the algorithm — therefore holds for every policy
 // written against this package, by construction.
+//
+// The adapter is the sole boundary between policies and the engine's
+// index-based packet representation: it walks the node's sim.PacketID queue
+// slots, reads the struct-of-arrays store (including Dst, which only the
+// adapter may touch) to build View values, and maps a View.Index back to
+// the same queue position the engine will read from Schedule. A View is
+// therefore a pure projection of store row PacketID: the index is stable
+// for the packet's lifetime, row 0 is the engine's reserved sentinel and
+// never appears in a queue, and SetPacketState writes through to the store
+// row the view was built from.
 package dex
 
 import (
@@ -90,12 +100,13 @@ type NodeCtx struct {
 	// QueueLens holds the current occupancy of each queue tag.
 	QueueLens [5]int
 
-	node *sim.Node
+	net  *sim.Network
+	pids []sim.PacketID
 }
 
 // SetPacketState overwrites the state word of the i-th resident packet.
 func (c *NodeCtx) SetPacketState(i int, s uint64) {
-	c.node.Packets[i].State = s
+	c.net.P.State[c.pids[i]] = s
 	c.Views[i].State = s
 }
 
@@ -146,7 +157,8 @@ func (a *Adapter) fill(net *sim.Network, n *sim.Node) *NodeCtx {
 	c.Queues = net.Queues
 	c.State = &n.State
 	c.Extra = &n.Extra
-	c.node = n
+	c.net = net
+	c.pids = net.PacketsOf(n)
 	c.Outlinks = 0
 	for d := grid.Dir(0); d < grid.NumDirs; d++ {
 		if _, ok := net.Topo.Neighbor(n.ID, d); ok {
@@ -157,16 +169,17 @@ func (a *Adapter) fill(net *sim.Network, n *sim.Node) *NodeCtx {
 	for tag := uint8(0); tag < 5; tag++ {
 		c.QueueLens[tag] = n.QueueLen(tag)
 	}
+	st := &net.P
 	a.viewBuf = a.viewBuf[:0]
-	for i, p := range n.Packets {
+	for i, p := range c.pids {
 		a.viewBuf = append(a.viewBuf, View{
 			Index:       i,
-			Source:      p.Src,
-			State:       p.State,
-			Arrived:     p.Arrived,
-			ArrivedStep: p.ArrivedStep,
-			QTag:        p.QTag,
-			Profitable:  net.Topo.Profitable(n.ID, p.Dst),
+			Source:      st.Src[p],
+			State:       st.State[p],
+			Arrived:     st.Arrived[p],
+			ArrivedStep: int(st.ArrivedStep[p]),
+			QTag:        st.QTag[p],
+			Profitable:  net.Topo.Profitable(n.ID, st.Dst[p]),
 		})
 	}
 	c.Views = a.viewBuf
@@ -186,14 +199,15 @@ func (a *Adapter) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 // Accept implements sim.Algorithm.
 func (a *Adapter) Accept(net *sim.Network, n *sim.Node, offers []sim.Offer, accept []bool) {
 	c := a.fill(net, n)
+	st := &net.P
 	a.offerBuf = a.offerBuf[:0]
 	for _, o := range offers {
 		a.offerBuf = append(a.offerBuf, OfferView{
 			From:       o.From,
 			Travel:     o.Travel,
-			Source:     o.P.Src,
-			State:      o.P.State,
-			Profitable: net.Topo.Profitable(o.From, o.P.Dst),
+			Source:     st.Src[o.P],
+			State:      st.State[o.P],
+			Profitable: net.Topo.Profitable(o.From, st.Dst[o.P]),
 		})
 	}
 	a.P.Accept(c, a.offerBuf, accept)

@@ -77,7 +77,7 @@ func TestAdapterRoutesAndHidesDestination(t *testing.T) {
 	if _, err := net.Run(NewAdapter(spy), 100); err != nil {
 		t.Fatal(err)
 	}
-	if !p.Delivered() {
+	if !net.P.Delivered(p) {
 		t.Fatal("undelivered")
 	}
 	if spy.initCalls != 1 {
@@ -96,7 +96,7 @@ func TestAdapterRoutesAndHidesDestination(t *testing.T) {
 		if v.Profitable.Has(grid.South) || v.Profitable.Has(grid.West) {
 			t.Fatalf("northeast-bound packet shows %v", v.Profitable)
 		}
-		if v.Source != p.Src {
+		if v.Source != net.P.Src[p] {
 			t.Fatalf("source mismatch: %v", v.Source)
 		}
 	}
@@ -113,8 +113,8 @@ func TestAdapterPacketStateUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Update incremented the state of the packet at its (new) node.
-	if p.State != 1 {
-		t.Fatalf("packet state = %d, want 1", p.State)
+	if net.P.State[p] != 1 {
+		t.Fatalf("packet state = %d, want 1", net.P.State[p])
 	}
 }
 
@@ -185,7 +185,7 @@ func TestExchangeInvisibility(t *testing.T) {
 			if err := net.StepOnce(adapter); err != nil {
 				t.Fatal(err)
 			}
-			trace = append(trace, a.At, b.At)
+			trace = append(trace, net.P.At[a], net.P.At[b])
 		}
 		return trace
 	}

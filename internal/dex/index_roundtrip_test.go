@@ -1,0 +1,146 @@
+package dex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshroute/internal/fault"
+	"meshroute/internal/grid"
+	"meshroute/internal/sim"
+	"meshroute/internal/workload"
+)
+
+// roundtripPolicy is a dex policy that, on every callback, re-derives each
+// View from the adapter's PacketID slice and the store and checks the two
+// agree — the index round-trip property: Views[i] is exactly the projection
+// of store row pids[i], and pids[i] is the packet the engine will move when
+// Schedule returns i.
+type roundtripPolicy struct {
+	t *testing.T
+	// pidOf pins the PacketID first observed for each external packet ID;
+	// the handle must stay stable for the packet's whole lifetime.
+	pidOf map[int32]sim.PacketID
+}
+
+func (r *roundtripPolicy) Name() string { return "roundtrip" }
+
+func (r *roundtripPolicy) verify(c *NodeCtx) {
+	st := &c.net.P
+	if len(c.Views) != len(c.pids) {
+		r.t.Fatalf("step %d node %v: %d views over %d packet IDs", c.Step, c.Coord, len(c.Views), len(c.pids))
+	}
+	for i, v := range c.Views {
+		p := c.pids[i]
+		if p == sim.NoPacket {
+			r.t.Fatalf("step %d node %v: reserved sentinel in queue slot %d", c.Step, c.Coord, i)
+		}
+		if v.Index != i {
+			r.t.Fatalf("step %d node %v: Views[%d].Index = %d", c.Step, c.Coord, i, v.Index)
+		}
+		if v.Source != st.Src[p] || v.State != st.State[p] || v.Arrived != st.Arrived[p] ||
+			v.ArrivedStep != int(st.ArrivedStep[p]) || v.QTag != st.QTag[p] {
+			r.t.Fatalf("step %d node %v: Views[%d] diverged from store row %d", c.Step, c.Coord, i, p)
+		}
+		if want := c.net.Topo.Profitable(c.ID, st.Dst[p]); v.Profitable != want {
+			r.t.Fatalf("step %d node %v: Views[%d].Profitable = %v, store says %v", c.Step, c.Coord, i, v.Profitable, want)
+		}
+		if prev, ok := r.pidOf[p.ID()]; ok && prev != p {
+			r.t.Fatalf("packet %d changed handle %d -> %d: index not stable for lifetime", p.ID(), prev, p)
+		}
+		r.pidOf[p.ID()] = p
+	}
+}
+
+func (r *roundtripPolicy) InitNode(c *NodeCtx) { r.verify(c) }
+
+func (r *roundtripPolicy) Schedule(c *NodeCtx) [grid.NumDirs]int {
+	r.verify(c)
+	sched := [grid.NumDirs]int{-1, -1, -1, -1}
+	for i := range c.Views {
+		for d := grid.Dir(0); d < grid.NumDirs; d++ {
+			if c.Views[i].Profitable.Has(d) && sched[d] < 0 {
+				sched[d] = i
+				break
+			}
+		}
+	}
+	return sched
+}
+
+func (r *roundtripPolicy) Accept(c *NodeCtx, offers []OfferView, acc []bool) {
+	free := c.K - c.QueueLens[0]
+	for i := range offers {
+		if free > 0 {
+			acc[i] = true
+			free--
+		}
+	}
+}
+
+func (r *roundtripPolicy) Update(c *NodeCtx) {
+	r.verify(c)
+	// Exercise the write-through path: SetPacketState must land in the
+	// store row the view projects.
+	for i := range c.Views {
+		c.SetPacketState(i, c.Views[i].State+1)
+	}
+	st := &c.net.P
+	for i, v := range c.Views {
+		if st.State[c.pids[i]] != v.State {
+			r.t.Fatalf("SetPacketState did not write through to store row %d", c.pids[i])
+		}
+	}
+}
+
+// TestIndexRoundTripUnderFaultsAndCancellation is the property test for the
+// index-based representation: across random workloads, seeded fault
+// schedules (dropped sends, stalled nodes) and a mid-run pause/resume
+// (cancellation), every View handed to a policy round-trips to the store
+// row the adapter built it from, and a packet's PacketID never changes.
+func TestIndexRoundTripUnderFaultsAndCancellation(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		const n = 8
+		topo := grid.NewSquareMesh(n)
+		sched, err := fault.Generate(topo, fault.Config{
+			Seed: seed, Horizon: 40,
+			LinkFailures: 5, MeanDownSteps: 6,
+			NodeStalls: 1, MeanStallSteps: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := sim.MustNew(sim.Config{
+			Topo: topo, K: 3, Queues: sim.CentralQueue,
+			RequireMinimal: true, CheckInvariants: true, Faults: sched,
+		})
+		if err := workload.Random(topo, seed).Place(net); err != nil {
+			t.Fatal(err)
+		}
+		pol := &roundtripPolicy{t: t, pidOf: map[int32]sim.PacketID{}}
+		alg := NewAdapter(pol)
+		// Pause mid-run, then resume: the pause must not disturb the
+		// index mapping (RunPartial returns without error at the budget,
+		// exactly like a cancelled runner stopping between steps). The
+		// second leg is budgeted too — the round-trip policy is a
+		// deliberately naive scheduler, not a livelock-free router, so
+		// the property is index stability across the run, not delivery.
+		if _, err := net.RunPartial(alg, 5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.RunPartial(alg, 2000); err != nil {
+			t.Fatal(err)
+		}
+		// Closing the loop: the recorded handles still resolve to their
+		// external IDs, delivered packets included.
+		for id, p := range pol.pidOf {
+			if p.ID() != id {
+				t.Fatalf("handle %d resolves to external ID %d, recorded under %d", p, p.ID(), id)
+			}
+		}
+		return len(pol.pidOf) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,14 @@
 // workload) is fully independent, so parameter sweeps fan out across a
 // bounded worker pool and collect results in input order, keeping the
 // printed tables deterministic while using all cores.
+//
+// This is cell-level parallelism — whole networks run concurrently and
+// never share state, so no PacketID or node index ever crosses a cell
+// boundary and workers need no synchronization beyond the pool itself. It
+// is distinct from, and composes with, the engine's own intra-step
+// sharding (sim.Config.Workers / sim.ParallelCloner), which splits one
+// network's node range across clones of a single algorithm; see
+// docs/SCALING.md for when to use which.
 package par
 
 import (

@@ -27,8 +27,8 @@ func (DimOrderFF) Update(net *sim.Network, n *sim.Node) {}
 
 // remaining returns how far packet p still has to travel in the dimension
 // of direction d, from node at coordinate c.
-func remaining(net *sim.Network, c grid.Coord, p *sim.Packet, d grid.Dir) int {
-	dc := net.Topo.CoordOf(p.Dst)
+func remaining(net *sim.Network, c grid.Coord, p sim.PacketID, d grid.Dir) int {
+	dc := net.Topo.CoordOf(net.P.Dst[p])
 	if d.Horizontal() {
 		return absInt(dc.X - c.X)
 	}
@@ -42,8 +42,8 @@ func (DimOrderFF) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
 	best := [grid.NumDirs]int{}
 	here := net.Topo.CoordOf(n.ID)
-	for i, p := range n.Packets {
-		want := DimOrderWant(net.Topo.Profitable(n.ID, p.Dst))
+	for i, p := range net.PacketsOf(n) {
+		want := DimOrderWant(net.Topo.Profitable(n.ID, net.P.Dst[p]))
 		if want == grid.NoDir {
 			continue
 		}

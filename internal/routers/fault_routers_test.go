@@ -46,8 +46,8 @@ func TestZigZagFaultAwareAvoidsDownLink(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
-		if !pk.Delivered() || pk.Hops != topo.Dist(src, dst) {
-			t.Fatalf("%s: packet %+v not delivered minimally", p.Name(), pk)
+		if !net.P.Delivered(pk) || int(net.P.Hops[pk]) != topo.Dist(src, dst) {
+			t.Fatalf("%s: packet %+v not delivered minimally", p.Name(), net.PacketSnapshot(pk))
 		}
 		return net, steps
 	}
@@ -78,8 +78,8 @@ func TestRandZigZagFaultAwareAvoidsDownLink(t *testing.T) {
 	if _, err := net.Run(RandZigZag{Seed: 7, FaultAware: true}, 200); err != nil {
 		t.Fatal(err)
 	}
-	if !pk.Delivered() || pk.Hops != topo.Dist(src, dst) {
-		t.Fatalf("packet %+v not delivered minimally", pk)
+	if !net.P.Delivered(pk) || int(net.P.Hops[pk]) != topo.Dist(src, dst) {
+		t.Fatalf("packet %+v not delivered minimally", net.PacketSnapshot(pk))
 	}
 	if net.Metrics.FaultDrops != 0 {
 		t.Fatalf("fault-aware rand-zigzag scheduled a down link %d times", net.Metrics.FaultDrops)

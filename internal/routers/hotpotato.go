@@ -38,15 +38,18 @@ func (HotPotato) Update(net *sim.Network, n *sim.Node) {}
 // outlink.
 func (HotPotato) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
-	// Order packets oldest first (InjectStep, then ID).
-	order := make([]int, len(n.Packets))
+	st := &net.P
+	q := net.PacketsOf(n)
+	// Order packets oldest first (InjectStep, then ID; PacketIDs are
+	// assigned in ID order, so comparing handles breaks ties identically).
+	order := make([]int, len(q))
 	for i := range order {
 		order[i] = i
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {
-			a, b := n.Packets[order[j-1]], n.Packets[order[j]]
-			if a.InjectStep > b.InjectStep || (a.InjectStep == b.InjectStep && a.ID > b.ID) {
+			a, b := q[order[j-1]], q[order[j]]
+			if st.InjectStep[a] > st.InjectStep[b] || (st.InjectStep[a] == st.InjectStep[b] && a > b) {
 				order[j-1], order[j] = order[j], order[j-1]
 			} else {
 				break
@@ -54,10 +57,10 @@ func (HotPotato) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 		}
 	}
 	taken := [grid.NumDirs]bool{}
-	assigned := make([]bool, len(n.Packets))
+	assigned := make([]bool, len(q))
 	// First pass: profitable outlinks, oldest first.
 	for _, i := range order {
-		prof := net.Topo.Profitable(n.ID, n.Packets[i].Dst)
+		prof := net.Topo.Profitable(n.ID, st.Dst[q[i]])
 		for d := grid.Dir(0); d < grid.NumDirs; d++ {
 			if prof.Has(d) && !taken[d] {
 				sched[d] = i

@@ -52,8 +52,8 @@ func splitmix64(x uint64) uint64 {
 
 // pick returns the desired direction of packet p this step: a uniformly
 // random profitable direction.
-func (r RandZigZag) pick(net *sim.Network, at grid.NodeID, p *sim.Packet) grid.Dir {
-	prof := net.Topo.Profitable(at, p.Dst)
+func (r RandZigZag) pick(net *sim.Network, at grid.NodeID, p sim.PacketID) grid.Dir {
+	prof := net.Topo.Profitable(at, net.P.Dst[p])
 	if r.FaultAware {
 		prof &^= net.DownOutlinks(at)
 	}
@@ -64,7 +64,9 @@ func (r RandZigZag) pick(net *sim.Network, at grid.NodeID, p *sim.Packet) grid.D
 	case 1:
 		return dirs[0]
 	}
-	h := splitmix64(r.Seed ^ uint64(p.ID)*0x9e3779b97f4a7c15 ^ uint64(net.Step())<<32)
+	// Hash the external packet ID (PacketID-1), not the store index, so the
+	// decision stream is bit-identical to the pointer-based engine's.
+	h := splitmix64(r.Seed ^ uint64(p.ID())*0x9e3779b97f4a7c15 ^ uint64(net.Step())<<32)
 	return dirs[h%uint64(len(dirs))]
 }
 
@@ -72,7 +74,7 @@ func (r RandZigZag) pick(net *sim.Network, at grid.NodeID, p *sim.Packet) grid.D
 // it this step.
 func (r RandZigZag) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
-	for i, p := range n.Packets {
+	for i, p := range net.PacketsOf(n) {
 		if w := r.pick(net, n.ID, p); w != grid.NoDir && sched[w] < 0 {
 			sched[w] = i
 		}

@@ -95,8 +95,8 @@ func TestZigZagSingleProfitableStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if steps != 6 || p.Hops != 6 {
-		t.Fatalf("due-east packet took %d steps, %d hops", steps, p.Hops)
+	if steps != 6 || net.P.Hops[p] != 6 {
+		t.Fatalf("due-east packet took %d steps, %d hops", steps, net.P.Hops[p])
 	}
 }
 
@@ -116,10 +116,11 @@ func TestThm15TurnerEventuallyTurns(t *testing.T) {
 	if _, err := net.Run(dex.NewAdapter(Thm15{}), 500); err != nil {
 		t.Fatal(err)
 	}
-	if !turner.Delivered() {
+	st := &net.P
+	if !st.Delivered(turner) {
 		t.Fatal("turner starved")
 	}
-	if turner.Hops != topo.Dist(turner.Src, turner.Dst) {
+	if int(st.Hops[turner]) != topo.Dist(st.Src[turner], st.Dst[turner]) {
 		t.Fatal("turner nonminimal")
 	}
 }
@@ -139,10 +140,10 @@ func TestSwapRuleBreaksHeadOnDeadlock(t *testing.T) {
 	if _, err := net.Run(dex.NewAdapter(ZigZag{}), 100); err != nil {
 		t.Fatal(err)
 	}
-	if !e.Delivered() || !w.Delivered() {
+	if !net.P.Delivered(e) || !net.P.Delivered(w) {
 		t.Fatal("head-on pair did not resolve")
 	}
-	if e.Hops != 3 || w.Hops != 3 {
-		t.Fatalf("nonminimal resolution: %d, %d", e.Hops, w.Hops)
+	if net.P.Hops[e] != 3 || net.P.Hops[w] != 3 {
+		t.Fatalf("nonminimal resolution: %d, %d", net.P.Hops[e], net.P.Hops[w])
 	}
 }

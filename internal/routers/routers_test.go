@@ -85,7 +85,7 @@ func TestDimOrderFIFOFollowsXYOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := grid.XY(i+1, 0)
-		if p.Delivered() {
+		if net.P.Delivered(p) {
 			t.Fatal("delivered too early")
 		}
 		if got := findPacketCoord(net, p); got != want {
@@ -95,14 +95,14 @@ func TestDimOrderFIFOFollowsXYOrder(t *testing.T) {
 	if _, err := net.Run(alg, 100); err != nil {
 		t.Fatal(err)
 	}
-	if p.Hops != 10 {
-		t.Fatalf("hops = %d", p.Hops)
+	if net.P.Hops[p] != 10 {
+		t.Fatalf("hops = %d", net.P.Hops[p])
 	}
 }
 
-func findPacketCoord(net *sim.Network, p *sim.Packet) grid.Coord {
+func findPacketCoord(net *sim.Network, p sim.PacketID) grid.Coord {
 	for _, id := range net.Occupied() {
-		for _, q := range net.Node(id).Packets {
+		for _, q := range net.PacketsOf(net.Node(id)) {
 			if q == p {
 				return net.Topo.CoordOf(id)
 			}
@@ -140,7 +140,7 @@ func TestZigZagAlternatesWhenBlocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkMinimalPaths(t, net)
-	if !mover.Delivered() || !blocker.Delivered() {
+	if !net.P.Delivered(mover) || !net.P.Delivered(blocker) {
 		t.Fatal("both packets must deliver")
 	}
 }
@@ -211,7 +211,7 @@ func TestThm15StraightPriority(t *testing.T) {
 	_ = turner
 	// Same destination would break the permutation; give the turner a
 	// different column-top destination.
-	turner.Dst = topo.ID(grid.XY(2, 4))
+	net.P.Dst[turner] = topo.ID(grid.XY(2, 4))
 	net.MustPlace(turner)
 	alg := dex.NewAdapter(Thm15{})
 	if _, err := net.Run(alg, 200); err != nil {

@@ -70,14 +70,14 @@ func TestStrayActuallyStrays(t *testing.T) {
 		if err := net.StepOnce(alg); err != nil {
 			t.Fatal(err)
 		}
-		if c := topo.CoordOf(turner.At); c.X > maxX {
+		if c := topo.CoordOf(net.P.At[turner]); c.X > maxX {
 			maxX = c.X
 		}
 	}
 	if !net.Done() {
 		t.Fatal("did not finish")
 	}
-	if turner.Hops <= topo.Dist(turner.Src, turner.Dst) && maxX <= 4 {
+	if int(net.P.Hops[turner]) <= topo.Dist(net.P.Src[turner], net.P.Dst[turner]) && maxX <= 4 {
 		t.Log("turner was never forced to stray (acceptable but unexpected)")
 	}
 	if maxX > 4+delta {
@@ -127,7 +127,7 @@ type alwaysEast struct{ greedyStub }
 
 func (alwaysEast) Schedule(net *sim.Network, n *sim.Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
-	if len(n.Packets) > 0 {
+	if n.Len() > 0 {
 		if _, ok := net.Topo.Neighbor(n.ID, grid.East); ok {
 			sched[grid.East] = 0
 		}

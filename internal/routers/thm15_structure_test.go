@@ -36,12 +36,13 @@ func TestThm15VerticalQueuesAlwaysEject(t *testing.T) {
 				node grid.NodeID
 				tag  uint8
 			}
-			before := map[qk][]*sim.Packet{}
+			st := &net.P
+			before := map[qk][]sim.PacketID{}
 			for _, id := range net.Occupied() {
 				node := net.Node(id)
-				for _, p := range node.Packets {
+				for _, p := range net.PacketsOf(node) {
 					for _, tag := range vertTags {
-						if p.QTag == tag {
+						if st.QTag[p] == tag {
 							before[qk{id, tag}] = append(before[qk{id, tag}], p)
 						}
 					}
@@ -53,7 +54,7 @@ func TestThm15VerticalQueuesAlwaysEject(t *testing.T) {
 			for key, pkts := range before {
 				ejected := false
 				for _, p := range pkts {
-					if p.At != key.node || p.Delivered() {
+					if st.At[p] != key.node || st.Delivered(p) {
 						ejected = true
 						break
 					}
@@ -86,7 +87,7 @@ func TestThm15TurningQueueDrainsWithinN(t *testing.T) {
 	// waiting[node] = consecutive steps some horizontal queue has stayed
 	// full of turners without draining.
 	type sat struct {
-		pkts  []*sim.Packet
+		pkts  []sim.PacketID
 		since int
 	}
 	saturated := map[grid.NodeID]*sat{}
@@ -101,13 +102,13 @@ func TestThm15TurningQueueDrainsWithinN(t *testing.T) {
 					continue
 				}
 				allTurn := true
-				var pkts []*sim.Packet
-				for _, p := range node.Packets {
-					if p.QTag != tag {
+				var pkts []sim.PacketID
+				for _, p := range net.PacketsOf(node) {
+					if net.P.QTag[p] != tag {
 						continue
 					}
 					pkts = append(pkts, p)
-					if DimOrderWant(net.Topo.Profitable(id, p.Dst)).Horizontal() {
+					if DimOrderWant(net.Topo.Profitable(id, net.P.Dst[p])).Horizontal() {
 						allTurn = false
 					}
 				}
@@ -131,11 +132,11 @@ func TestThm15TurningQueueDrainsWithinN(t *testing.T) {
 	}
 }
 
-func samePackets(a, b []*sim.Packet) bool {
+func samePackets(a, b []sim.PacketID) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	seen := map[*sim.Packet]bool{}
+	seen := map[sim.PacketID]bool{}
 	for _, p := range a {
 		seen[p] = true
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"meshroute/internal/grid"
@@ -98,6 +99,88 @@ func benchStepDense(b *testing.B, sink obs.Sink) {
 		if err := net.StepOnce(greedyXY{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// torusTransposeNet builds an n×n torus fully loaded with the transpose
+// permutation — the scaling workload of docs/SCALING.md: one packet per
+// node, average distance ~n/2, so the step loop stays saturated for
+// hundreds of steps before a rebuild.
+func torusTransposeNet(n, workers int) *Network {
+	net := MustNew(Config{
+		Topo:    grid.NewSquareTorus(n),
+		K:       4,
+		Queues:  CentralQueue,
+		Workers: workers,
+	})
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			net.MustPlace(net.NewPacket(net.Topo.ID(grid.XY(x, y)), net.Topo.ID(grid.XY(y, x))))
+		}
+	}
+	return net
+}
+
+// warmTorusTransposeNet is torusTransposeNet plus three warm-up steps, so
+// scratch buffers and queue regions reach their working size before the
+// timer starts: at n=1024 a benchmark iteration count of ~5 would
+// otherwise charge the one-time growth allocations to allocs/op and mask
+// the steady state the 0-alloc gate pins.
+func warmTorusTransposeNet(tb testing.TB, n, workers int) *Network {
+	net := torusTransposeNet(n, workers)
+	for i := 0; i < 3; i++ {
+		if err := net.StepOnce(greedyXY{}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return net
+}
+
+// BenchmarkStepTorus is the n×workers scaling matrix: one fully loaded
+// torus step at side lengths 64, 256 and 1024 (4K, 65K and 1M packets),
+// serial (w1) and with 2/4/8 engine workers. The w1 cells double as the
+// struct-of-arrays zero-alloc guard: a serial steady-state step must not
+// allocate at any size (benchgate gates n1024/w1 at 0 allocs/op).
+func BenchmarkStepTorus(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			n, workers := n, workers
+			b.Run(fmt.Sprintf("n%d/w%d", n, workers), func(b *testing.B) {
+				net := warmTorusTransposeNet(b, n, workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if net.Done() {
+						b.StopTimer()
+						net = warmTorusTransposeNet(b, n, workers)
+						b.StartTimer()
+					}
+					if err := net.StepOnce(greedyXY{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n*n), "packets")
+			})
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the struct-of-arrays contract at the
+// million-node scale: after warm-up (queue regions grown to their working
+// capacity, scratch buffers sized), a serial engine step on a fully loaded
+// 1024×1024 torus performs zero heap allocations.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-packet network build is slow; skipped with -short")
+	}
+	net := warmTorusTransposeNet(t, 1024, 0)
+	avg := testing.AllocsPerRun(5, func() {
+		if err := net.StepOnce(greedyXY{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state step allocates %v times at n=1024, want 0", avg)
 	}
 }
 

@@ -50,7 +50,7 @@ func TestTransientLinkFaultDelaysDelivery(t *testing.T) {
 	if net.Metrics.FaultDrops != 3 {
 		t.Fatalf("FaultDrops = %d, want 3", net.Metrics.FaultDrops)
 	}
-	if !p.Delivered() {
+	if !net.P.Delivered(p) {
 		t.Fatal("packet must recover and deliver")
 	}
 }
@@ -96,8 +96,8 @@ func TestPermanentFaultUnreachable(t *testing.T) {
 	if !errors.As(err, &ue) {
 		t.Fatalf("want UnreachableError, got %v", err)
 	}
-	if ue.PacketID != p.ID || ue.At != at {
-		t.Fatalf("error names packet %d at %v, want packet %d at %v", ue.PacketID, ue.AtCoord, p.ID, topo.CoordOf(at))
+	if ue.PacketID != p.ID() || ue.At != at {
+		t.Fatalf("error names packet %d at %v, want packet %d at %v", ue.PacketID, ue.AtCoord, p.ID(), topo.CoordOf(at))
 	}
 }
 

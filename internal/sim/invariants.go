@@ -8,7 +8,8 @@ import "fmt"
 //   - queue capacity: every queue's occupancy is within capOf(tag) under
 //     either queue model (the origin buffer is unbounded per-inlink);
 //   - count consistency: each node's per-tag counters sum to its resident
-//     packet count, and each resident packet's At/QTag match the node;
+//     packet count, and each resident packet's At/slot index match the
+//     node and its queue position;
 //   - packet conservation: delivered + resident + backlogged + pending
 //     equals the number of packets ever placed or queued — packets are
 //     never duplicated or lost by a step.
@@ -20,6 +21,7 @@ import "fmt"
 // The checker allocates nothing and runs in O(occupied nodes); when the
 // flag is off the engine pays a single branch per step.
 func (net *Network) checkStepInvariants(alg Algorithm) error {
+	st := &net.P
 	resident := 0
 	for _, id := range net.occ {
 		node := &net.nodes[id]
@@ -36,25 +38,25 @@ func (net *Network) checkStepInvariants(alg Algorithm) error {
 			}
 			sum += c
 		}
-		if sum != len(node.Packets) {
+		if sum != node.Len() {
 			return fmt.Errorf("sim: invariant: node %v queue counters sum to %d but holds %d packets (step %d)",
-				net.Topo.CoordOf(id), sum, len(node.Packets), net.step)
+				net.Topo.CoordOf(id), sum, node.Len(), net.step)
 		}
-		for i, p := range node.Packets {
-			if p.At != id {
+		for i, p := range net.PacketsOf(node) {
+			if st.At[p] != id {
 				return fmt.Errorf("sim: invariant: packet %d resident at node %v but At=%v (step %d)",
-					p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(p.At), net.step)
+					p.ID(), net.Topo.CoordOf(id), net.Topo.CoordOf(st.At[p]), net.step)
 			}
-			if int(p.idx) != i {
-				return fmt.Errorf("sim: invariant: packet %d at queue position %d carries index %d (step %d)",
-					p.ID, i, p.idx, net.step)
+			if int(st.slot[p]) != i {
+				return fmt.Errorf("sim: invariant: packet %d at queue position %d carries slot index %d (step %d)",
+					p.ID(), i, st.slot[p], net.step)
 			}
-			if p.Delivered() {
+			if st.Delivered(p) {
 				return fmt.Errorf("sim: invariant: delivered packet %d still resident at %v (step %d)",
-					p.ID, net.Topo.CoordOf(id), net.step)
+					p.ID(), net.Topo.CoordOf(id), net.step)
 			}
 		}
-		resident += len(node.Packets)
+		resident += node.Len()
 	}
 	if got := net.delivered + resident + net.backlogTotal + net.pendingTotal; got != net.total {
 		return fmt.Errorf("sim: invariant: packet conservation violated at step %d: %d delivered + %d resident + %d backlogged + %d pending = %d, want %d",

@@ -34,11 +34,11 @@ type Metrics struct {
 // RecordHistory enables per-step delivery counts.
 func (m *Metrics) RecordHistory() { m.recordHistory = true }
 
-func (m *Metrics) noteDelivered(p *Packet, step int) {
+func (m *Metrics) noteDelivered(injectStep, step int) {
 	if step > m.Makespan {
 		m.Makespan = step
 	}
-	m.SumDelay += step - p.InjectStep
+	m.SumDelay += step - injectStep
 	if m.recordHistory {
 		for len(m.DeliveredAtStep) <= step {
 			m.DeliveredAtStep = append(m.DeliveredAtStep, 0)
@@ -50,11 +50,11 @@ func (m *Metrics) noteDelivered(p *Packet, step int) {
 func (m *Metrics) noteStep(net *Network, step int) {
 	for _, id := range net.occ {
 		node := &net.nodes[id]
-		if len(node.Packets) == 0 {
+		if node.qLen == 0 {
 			continue
 		}
-		if len(node.Packets) > m.MaxNodeLoad {
-			m.MaxNodeLoad = len(node.Packets)
+		if node.Len() > m.MaxNodeLoad {
+			m.MaxNodeLoad = node.Len()
 		}
 		for tag := uint8(0); tag < numTags; tag++ {
 			if tag == OriginTag && net.Queues == PerInlinkQueues {
@@ -83,11 +83,11 @@ func (net *Network) emitStepSample(step int, arrivals []arrival, delivered int) 
 	}
 	for _, id := range net.occ {
 		node := &net.nodes[id]
-		if len(node.Packets) == 0 {
+		if node.qLen == 0 {
 			continue
 		}
 		s.OccupiedNodes++
-		s.InFlight += len(node.Packets)
+		s.InFlight += node.Len()
 		for tag := uint8(0); tag < numTags; tag++ {
 			if tag == OriginTag && net.Queues == PerInlinkQueues {
 				continue

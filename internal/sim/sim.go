@@ -16,11 +16,36 @@
 // node) and the four-incoming-queues model of Section 5 / Theorem 15 (one
 // queue of capacity K per inlink). It iterates only over occupied nodes, so
 // long runs on sparse instances cost O(packets) per step.
+//
+// # Index-based packet representation
+//
+// Packet state is stored struct-of-arrays: every per-packet field lives in
+// its own dense slice inside the Network's PacketStore (the exported P
+// field), and packets are referenced everywhere — queue slots, scheduled
+// moves, offers, adversary role indices — by PacketID, a uint32 index into
+// those slices. Queue contents are PacketID slots in one flat backing array
+// shared by all nodes (each node owns a contiguous region of it), so a step
+// touches dense, cache-adjacent memory instead of chasing per-packet
+// pointers. The representation upholds two invariants that all client code
+// may rely on:
+//
+//   - a PacketID is stable for the packet's lifetime: NewPacket assigns the
+//     next free index and nothing ever moves a packet to a different index;
+//   - slot 0 of the store is never a live packet: index 0 is a reserved
+//     sentinel, so the zero PacketID is always "no packet" and external
+//     packet IDs are PacketID-1.
+//
+// The old pointer-based *Packet API survives as a by-value snapshot: Packet
+// is now a plain value struct and Network.Packets materializes the store
+// into a reused snapshot slice for read-only consumers (digests, replay
+// verification, rendering). Mutating a snapshot does not affect the run;
+// write through the store (or engine methods) instead.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"meshroute/internal/fault"
 	"meshroute/internal/grid"
@@ -50,20 +75,105 @@ const (
 	numTags         = 5
 )
 
-// Packet is a routed message. Routing algorithms under the
-// destination-exchangeability restriction never see Dst directly; they
-// receive profitable-outlink views computed by the engine (package dex).
-type Packet struct {
-	// ID is a unique, dense identifier.
-	ID int32
+// PacketID is the engine's handle for one packet: an index into the dense
+// per-field slices of the PacketStore. It is assigned by NewPacket, is
+// stable for the packet's lifetime, and 0 is a reserved sentinel that never
+// names a live packet (so the zero value always means "no packet").
+type PacketID uint32
+
+// NoPacket is the zero PacketID sentinel.
+const NoPacket PacketID = 0
+
+// ID returns the packet's external identifier: dense, 0-based, in creation
+// order. It equals the index minus one (index 0 is the reserved sentinel),
+// so IDs are identical to those the pointer-based engine assigned.
+func (p PacketID) ID() int32 { return int32(p) - 1 }
+
+// PacketStore is the struct-of-arrays backing store for all packets of a
+// Network: field i of packet p lives at slice[p] of the corresponding dense
+// slice. All exported slices are indexed by PacketID; index 0 is a reserved
+// sentinel (never a live packet). Fields may be read — and, for adversary
+// exchange hooks and tests, written — directly; the engine maintains At,
+// QTag, Arrived, ArrivedStep, InjectStep, DeliverStep and Hops itself.
+type PacketStore struct {
 	// Src is the node where the packet was injected.
-	Src grid.NodeID
+	Src []grid.NodeID
 	// Dst is the destination. The adversary exchange hook may swap the
-	// Dst fields of two packets mid-run (part (b) of a step).
-	Dst grid.NodeID
+	// Dst entries of two packets mid-run (part (b) of a step).
+	Dst []grid.NodeID
+	// At is the node currently holding the packet (its destination once
+	// delivered). Maintained by the engine.
+	At []grid.NodeID
 	// State is algorithm-owned scratch that travels with the packet.
 	// Under destination-exchangeability it may be updated only from
 	// information listed in Section 2 of the paper.
+	State []uint64
+	// Arrived is the direction of travel of the packet's last hop
+	// (NoDir if it has not moved).
+	Arrived []grid.Dir
+	// QTag is the queue within its current node that holds the packet.
+	QTag []uint8
+	// Class is a free tag for algorithms and adversaries (e.g. the
+	// N_i/E_i packet kind in the lower-bound construction).
+	Class []uint8
+	// Tag is a free integer tag (e.g. the i index of an N_i-packet).
+	Tag []int32
+	// ArrivedStep is the step of the packet's last hop (0 if none).
+	ArrivedStep []int32
+	// InjectStep is the step at which the packet entered the network.
+	InjectStep []int32
+	// DeliverStep is the step at which the packet was delivered, or -1.
+	DeliverStep []int32
+	// Hops counts link traversals.
+	Hops []int32
+
+	// slot is the packet's position within its holder's queue region,
+	// maintained by the engine (attach and the part (d) compaction), so
+	// removal never needs a scan.
+	slot []int32
+	// departing marks a packet scheduled to leave its node during the
+	// part (d) batch removal of the current step.
+	departing []bool
+}
+
+// Len returns the number of packets ever created (excluding the sentinel).
+func (st *PacketStore) Len() int { return len(st.Src) - 1 }
+
+// Delivered reports whether the packet has reached its destination.
+func (st *PacketStore) Delivered(p PacketID) bool { return st.DeliverStep[p] >= 0 }
+
+// add appends one packet to every field slice and returns its index.
+func (st *PacketStore) add(src, dst grid.NodeID) PacketID {
+	st.Src = append(st.Src, src)
+	st.Dst = append(st.Dst, dst)
+	st.At = append(st.At, src)
+	st.State = append(st.State, 0)
+	st.Arrived = append(st.Arrived, grid.NoDir)
+	st.QTag = append(st.QTag, 0)
+	st.Class = append(st.Class, 0)
+	st.Tag = append(st.Tag, 0)
+	st.ArrivedStep = append(st.ArrivedStep, 0)
+	st.InjectStep = append(st.InjectStep, 0)
+	st.DeliverStep = append(st.DeliverStep, -1)
+	st.Hops = append(st.Hops, 0)
+	st.slot = append(st.slot, -1)
+	st.departing = append(st.departing, false)
+	return PacketID(len(st.Src) - 1)
+}
+
+// Packet is a read-only by-value snapshot of one packet, materialized from
+// the PacketStore by Network.Packets or Network.PacketSnapshot. Routing
+// algorithms under the destination-exchangeability restriction never see
+// Dst directly; they receive profitable-outlink views computed by the
+// engine (package dex).
+type Packet struct {
+	// ID is a unique, dense identifier (PacketID minus one).
+	ID int32
+	// Src is the node where the packet was injected.
+	Src grid.NodeID
+	// Dst is the destination at snapshot time.
+	Dst grid.NodeID
+	// State is the algorithm-owned scratch word.
 	State uint64
 	// Arrived is the direction of travel of the packet's last hop
 	// (NoDir if it has not moved).
@@ -77,29 +187,22 @@ type Packet struct {
 	// Hops counts link traversals.
 	Hops int
 	// At is the node currently holding the packet (its destination once
-	// delivered). Maintained by the engine.
+	// delivered).
 	At grid.NodeID
 	// QTag is the queue within its current node that holds the packet.
 	QTag uint8
-	// Class is a free tag for algorithms and adversaries (e.g. the
-	// N_i/E_i packet kind in the lower-bound construction).
+	// Class is a free tag for algorithms and adversaries.
 	Class uint8
-	// Tag is a free integer tag (e.g. the i index of an N_i-packet).
+	// Tag is a free integer tag.
 	Tag int32
-
-	// idx is the packet's position in its holder's Packets slice,
-	// maintained by the engine (attach and the part (d) compaction), so
-	// removal never needs a scan.
-	idx int32
-	// departing marks a packet scheduled to leave its node during the
-	// part (d) batch removal of the current step.
-	departing bool
 }
 
 // Delivered reports whether the packet has reached its destination.
-func (p *Packet) Delivered() bool { return p.DeliverStep >= 0 }
+func (p Packet) Delivered() bool { return p.DeliverStep >= 0 }
 
-// Node is one mesh node: its queue contents and algorithm state.
+// Node is one mesh node: its algorithm state and the location of its queue
+// region within the network's flat slot array. Queue contents are read with
+// Network.PacketsOf.
 type Node struct {
 	// ID is the node identifier.
 	ID grid.NodeID
@@ -108,16 +211,17 @@ type Node struct {
 	// Extra is algorithm-owned rich state for algorithms that need more
 	// than a word; nil for most.
 	Extra interface{}
-	// Packets holds the resident packets in arrival (FIFO) order.
-	// Treat as read-only outside the engine except through Algorithm
-	// callbacks.
-	Packets []*Packet
+
+	// qStart/qLen/qCap locate the node's queue region in Network.slots:
+	// the resident packets, in arrival (FIFO) order, are
+	// slots[qStart : qStart+qLen], inside a reserved region of qCap slots.
+	qStart, qLen, qCap uint32
 
 	counts [numTags]int16
 }
 
 // Len returns the number of resident packets (including the origin buffer).
-func (n *Node) Len() int { return len(n.Packets) }
+func (n *Node) Len() int { return int(n.qLen) }
 
 // QueueLen returns the number of packets in the queue with the given tag.
 func (n *Node) QueueLen(tag uint8) int { return int(n.counts[tag]) }
@@ -131,7 +235,7 @@ func (n *Node) NetworkLen() int { return n.Len() - n.QueueLen(OriginTag) }
 // current step, presented to the target's inqueue policy in part (c).
 type Offer struct {
 	// P is the scheduled packet.
-	P *Packet
+	P PacketID
 	// From is the node the packet is coming from.
 	From grid.NodeID
 	// Travel is the direction of travel (the sender's outlink); the
@@ -143,7 +247,7 @@ type Offer struct {
 // (part (b)).
 type Move struct {
 	// P is the scheduled packet.
-	P *Packet
+	P PacketID
 	// From is the sending node.
 	From grid.NodeID
 	// To is the target node.
@@ -153,14 +257,15 @@ type Move struct {
 }
 
 // ExchangeFn is the adversary hook invoked between scheduling and
-// acceptance. It may swap the Dst fields of packet pairs (an "exchange" in
+// acceptance. It may swap the Dst entries of packet pairs (an "exchange" in
 // the paper's sense) but must not move, add or remove packets.
 type ExchangeFn func(net *Network, step int, moves []Move)
 
 // Algorithm is a routing algorithm driven by the engine. Implementations
 // must be deterministic. Destination-exchangeable algorithms should be
 // built with package dex, which restricts the information they can see;
-// general algorithms (e.g. farthest-first) may inspect packets freely.
+// general algorithms (e.g. farthest-first) may inspect the packet store
+// freely.
 type Algorithm interface {
 	// Name identifies the algorithm in reports.
 	Name() string
@@ -168,9 +273,9 @@ type Algorithm interface {
 	// It is called once per node holding at least one packet.
 	InitNode(net *Network, n *Node)
 	// Schedule implements the outqueue policy: for each direction it
-	// returns the index (into n.Packets) of the packet to send on that
-	// outlink, or -1. A packet may be scheduled on at most one outlink,
-	// and only on an existing outlink.
+	// returns the index (into net.PacketsOf(n)) of the packet to send on
+	// that outlink, or -1. A packet may be scheduled on at most one
+	// outlink, and only on an existing outlink.
 	Schedule(net *Network, n *Node) [grid.NumDirs]int
 	// Accept implements the inqueue policy: accept[i] reports whether
 	// offers[i] is admitted. The engine provides accept with exactly
@@ -249,9 +354,19 @@ type Network struct {
 	// Queues is the queue model.
 	Queues QueueModel
 
+	// P is the struct-of-arrays packet store: P.Src[p], P.Dst[p], … are
+	// the fields of PacketID p. Index 0 is a reserved sentinel.
+	P PacketStore
+
 	cfg   Config
 	nodes []Node
 	step  int
+
+	// slots is the flat queue-slot array: every node's queue is a
+	// contiguous region of it (see Node.qStart/qLen/qCap). Regions grow by
+	// doubling (relocating to the end of slots and abandoning the old
+	// region), so at steady state no attach ever allocates.
+	slots []PacketID
 
 	// occ is the occupied-node list, in first-occupied (insertion) order —
 	// NOT sorted. Its order is deterministic: it depends only on the
@@ -263,16 +378,11 @@ type Network struct {
 	isOcc     []bool
 	total     int
 	delivered int
-	packets   []*Packet // all placed packets by ID order
+	placed    []PacketID // all placed/queued packets, in placement order
+	snapshot  []Packet   // reused buffer backing Packets()
 
-	// arena holds the packet slabs NewPacket allocates from. Chunks are
-	// fixed-capacity and never regrow, so *Packet pointers stay stable for
-	// the life of the network while packets created together stay adjacent
-	// in memory (one heap allocation per arenaChunk packets).
-	arena [][]Packet
-
-	pendingInj map[int][]*Packet // injection step -> packets
-	backlog    [][]*Packet       // per node: injected but not yet in queue
+	pendingInj map[int][]PacketID // injection step -> packets
+	backlog    [][]PacketID       // per node: injected but not yet in queue
 
 	// Active-backlog tracking: the nodes whose backlog is nonempty, so
 	// injectPending touches O(active) slots per step instead of scanning
@@ -311,7 +421,6 @@ type Network struct {
 	werrs     []error
 
 	inited  bool
-	nextID  int32
 	scratch stepScratch
 }
 
@@ -379,13 +488,16 @@ func New(cfg Config) (*Network, error) {
 		cfg:        cfg,
 		nodes:      make([]Node, n),
 		isOcc:      make([]bool, n),
-		pendingInj: map[int][]*Packet{},
-		backlog:    make([][]*Packet, n),
+		pendingInj: map[int][]PacketID{},
+		backlog:    make([][]PacketID, n),
 		inBacklog:  make([]bool, n),
 	}
 	for i := range net.nodes {
 		net.nodes[i].ID = grid.NodeID(i)
 	}
+	// Index 0 of the packet store is the reserved sentinel: never a live
+	// packet, so the zero PacketID always means "no packet".
+	net.P.add(0, 0)
 	net.scratch.offStart = make([]int32, n)
 	net.scratch.offCount = make([]int32, n)
 	net.scratch.offMark = make([]int32, n)
@@ -415,9 +527,52 @@ func (net *Network) Step() int { return net.step }
 // Node returns the node with the given identifier.
 func (net *Network) Node(id grid.NodeID) *Node { return &net.nodes[id] }
 
-// Packets returns all packets ever placed or injected, in ID order.
-// Delivered packets remain in the slice (with DeliverStep set).
-func (net *Network) Packets() []*Packet { return net.packets }
+// PacketsOf returns the node's resident packets in arrival (FIFO) order, as
+// PacketID handles into the store. The slice aliases the engine's flat slot
+// array: treat it as read-only, and do not retain it across engine calls
+// (part (d) compaction and queue growth may rewrite or relocate it).
+func (net *Network) PacketsOf(n *Node) []PacketID {
+	return net.slots[n.qStart : n.qStart+n.qLen : n.qStart+n.qCap]
+}
+
+// PacketSnapshot materializes one packet's current store fields as a Packet
+// value.
+func (net *Network) PacketSnapshot(p PacketID) Packet {
+	st := &net.P
+	return Packet{
+		ID:          p.ID(),
+		Src:         st.Src[p],
+		Dst:         st.Dst[p],
+		State:       st.State[p],
+		Arrived:     st.Arrived[p],
+		ArrivedStep: int(st.ArrivedStep[p]),
+		InjectStep:  int(st.InjectStep[p]),
+		DeliverStep: int(st.DeliverStep[p]),
+		Hops:        int(st.Hops[p]),
+		At:          st.At[p],
+		QTag:        st.QTag[p],
+		Class:       st.Class[p],
+		Tag:         st.Tag[p],
+	}
+}
+
+// Packets materializes all packets ever placed or injected, in placement
+// order (ID order for workloads that place packets as they create them),
+// as by-value snapshots. Delivered packets remain in the slice (with
+// DeliverStep set). The returned slice is a reused buffer owned by the
+// network: it is valid until the next Packets call and mutating it does not
+// affect the run.
+func (net *Network) Packets() []Packet {
+	if cap(net.snapshot) < len(net.placed) {
+		net.snapshot = make([]Packet, 0, len(net.placed))
+	}
+	out := net.snapshot[:0]
+	for _, p := range net.placed {
+		out = append(out, net.PacketSnapshot(p))
+	}
+	net.snapshot = out
+	return out
+}
 
 // TotalPackets returns the number of packets placed or queued for injection.
 func (net *Network) TotalPackets() int { return net.total }
@@ -504,54 +659,37 @@ func (net *Network) emitEvent(e obs.Event) {
 	}
 }
 
-// arenaChunk is the capacity of one packet-arena slab. Chunks are allocated
-// at full capacity and appended to in place, so the pointers NewPacket
-// returns are never invalidated by later allocations.
-const arenaChunk = 1024
-
-// NewPacket allocates a packet with the next free ID, routed from src to
-// dst, from the network's packet arena (one heap allocation per arenaChunk
-// packets, with packets created together adjacent in memory). The packet is
-// not placed; use Place or QueueInjection. Returned pointers remain valid
-// for the life of the network.
-func (net *Network) NewPacket(src, dst grid.NodeID) *Packet {
-	if len(net.arena) == 0 || len(net.arena[len(net.arena)-1]) == arenaChunk {
-		net.arena = append(net.arena, make([]Packet, 0, arenaChunk))
-	}
-	c := &net.arena[len(net.arena)-1]
-	*c = append(*c, Packet{
-		ID:          net.nextID,
-		Src:         src,
-		Dst:         dst,
-		Arrived:     grid.NoDir,
-		DeliverStep: -1,
-	})
-	net.nextID++
-	return &(*c)[len(*c)-1]
+// NewPacket allocates a packet with the next free index, routed from src to
+// dst, in the network's struct-of-arrays store. The packet is not placed;
+// use Place or QueueInjection. The returned PacketID is stable for the life
+// of the network.
+func (net *Network) NewPacket(src, dst grid.NodeID) PacketID {
+	return net.P.add(src, dst)
 }
 
 // Place puts a packet at its source node before the run starts. A packet
 // whose source equals its destination is delivered immediately. Placement
 // must respect the queue capacity in the central-queue model.
-func (net *Network) Place(p *Packet) error {
+func (net *Network) Place(p PacketID) error {
 	if net.step != 0 || net.inited {
 		return errors.New("sim: Place after run started")
 	}
-	net.packets = append(net.packets, p)
+	st := &net.P
+	net.placed = append(net.placed, p)
 	net.total++
-	p.At = p.Src
-	if p.Src == p.Dst {
-		p.DeliverStep = 0
+	st.At[p] = st.Src[p]
+	if st.Src[p] == st.Dst[p] {
+		st.DeliverStep[p] = 0
 		net.delivered++
-		net.Metrics.noteDelivered(p, 0)
+		net.Metrics.noteDelivered(0, 0)
 		return nil
 	}
-	node := &net.nodes[p.Src]
+	node := &net.nodes[st.Src[p]]
 	tag := OriginTag
 	if net.Queues == CentralQueue {
 		tag = 0
 		if node.QueueLen(0) >= net.K {
-			return fmt.Errorf("sim: node %v over capacity at placement (K=%d)", net.Topo.CoordOf(p.Src), net.K)
+			return fmt.Errorf("sim: node %v over capacity at placement (K=%d)", net.Topo.CoordOf(st.Src[p]), net.K)
 		}
 	}
 	net.attach(node, p, tag)
@@ -560,7 +698,7 @@ func (net *Network) Place(p *Packet) error {
 
 // MustPlace is Place but panics on error (for tests and generators that
 // construct known-valid instances).
-func (net *Network) MustPlace(p *Packet) {
+func (net *Network) MustPlace(p PacketID) {
 	if err := net.Place(p); err != nil {
 		panic(err)
 	}
@@ -571,24 +709,48 @@ func (net *Network) MustPlace(p *Packet) {
 // source node's queue, in FIFO order, as soon as there is room; the entry
 // time therefore does not depend on the packet's destination, as the
 // dynamic-routing extension in Section 5 requires.
-func (net *Network) QueueInjection(p *Packet, step int) {
+func (net *Network) QueueInjection(p PacketID, step int) {
 	if step < 1 {
 		step = 1
 	}
-	p.At = p.Src
-	net.packets = append(net.packets, p)
+	st := &net.P
+	st.At[p] = st.Src[p]
+	net.placed = append(net.placed, p)
 	net.total++
 	net.pendingTotal++
 	net.pendingInj[step] = append(net.pendingInj[step], p)
 }
 
+// minQueueCap is the initial slot-region capacity of a node's queue.
+const minQueueCap = 4
+
+// growQueue relocates the node's queue region to the end of the flat slot
+// array with doubled capacity. The abandoned region is never reused, which
+// bounds total slot memory at twice the peak live capacity; at steady state
+// (no queue ever exceeding its region) attach allocates nothing.
+func (net *Network) growQueue(n *Node) {
+	newCap := n.qCap * 2
+	if newCap < minQueueCap {
+		newCap = minQueueCap
+	}
+	start := uint32(len(net.slots))
+	net.slots = slices.Grow(net.slots, int(newCap))[:int(start+newCap)]
+	copy(net.slots[start:], net.slots[n.qStart:n.qStart+n.qLen])
+	n.qStart, n.qCap = start, newCap
+}
+
 // attach adds p to node under queue tag, maintaining occupancy tracking and
-// the packet's position index (used by the part (d) batch removal).
-func (net *Network) attach(node *Node, p *Packet, tag uint8) {
-	p.QTag = tag
-	p.At = node.ID
-	p.idx = int32(len(node.Packets))
-	node.Packets = append(node.Packets, p)
+// the packet's slot index (used by the part (d) batch removal).
+func (net *Network) attach(node *Node, p PacketID, tag uint8) {
+	st := &net.P
+	st.QTag[p] = tag
+	st.At[p] = node.ID
+	if node.qLen == node.qCap {
+		net.growQueue(node)
+	}
+	st.slot[p] = int32(node.qLen)
+	net.slots[node.qStart+node.qLen] = p
+	node.qLen++
 	node.counts[tag]++
 	if !net.isOcc[node.ID] {
 		net.isOcc[node.ID] = true

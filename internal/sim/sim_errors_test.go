@@ -52,7 +52,7 @@ func TestExchangeBreakingMinimalityRejected(t *testing.T) {
 	net.SetExchange(func(n *Network, step int, moves []Move) {
 		// Retarget the moving packet BEHIND itself: the scheduled
 		// eastward move becomes non-minimal.
-		a.Dst = topo.ID(grid.XY(0, 3))
+		n.P.Dst[a] = topo.ID(grid.XY(0, 3))
 	})
 	if err := net.StepOnce(greedyXY{}); err == nil || !strings.Contains(err.Error(), "non-minimal") {
 		t.Fatalf("want exchange-minimality error, got %v", err)

@@ -64,7 +64,8 @@ func TestQuickTorusSinglePacket(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return p.Delivered() && steps == tr.Dist(s, d) && p.Hops == tr.Dist(s, d)
+		st := &net.P
+		return st.Delivered(p) && steps == tr.Dist(s, d) && int(st.Hops[p]) == tr.Dist(s, d)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -77,7 +78,8 @@ func TestPacketAtTracking(t *testing.T) {
 	topo := net.Topo
 	p := net.NewPacket(topo.ID(grid.XY(0, 0)), topo.ID(grid.XY(3, 0)))
 	net.MustPlace(p)
-	if p.At != p.Src {
+	st := &net.P
+	if st.At[p] != st.Src[p] {
 		t.Fatal("At != Src after placement")
 	}
 	for i := 1; i <= 3; i++ {
@@ -85,11 +87,11 @@ func TestPacketAtTracking(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := topo.ID(grid.XY(i, 0))
-		if p.At != want {
-			t.Fatalf("step %d: At = %v, want %v", i, topo.CoordOf(p.At), topo.CoordOf(want))
+		if st.At[p] != want {
+			t.Fatalf("step %d: At = %v, want %v", i, topo.CoordOf(st.At[p]), topo.CoordOf(want))
 		}
 	}
-	if !p.Delivered() || p.At != p.Dst {
+	if !st.Delivered(p) || st.At[p] != st.Dst[p] {
 		t.Fatal("delivered packet must sit at Dst")
 	}
 }
@@ -99,7 +101,7 @@ func TestInjectionFIFO(t *testing.T) {
 	net := MustNew(Config{Topo: grid.NewSquareMesh(8), K: 1, Queues: CentralQueue, RequireMinimal: true, CheckInvariants: true})
 	topo := net.Topo
 	src := topo.ID(grid.XY(0, 0))
-	var ps []*Packet
+	var ps []PacketID
 	for i := 0; i < 4; i++ {
 		p := net.NewPacket(src, topo.ID(grid.XY(7, i)))
 		net.QueueInjection(p, 1)
@@ -108,9 +110,10 @@ func TestInjectionFIFO(t *testing.T) {
 	if _, err := net.Run(greedyXY{}, 500); err != nil {
 		t.Fatal(err)
 	}
+	st := &net.P
 	for i := 1; i < len(ps); i++ {
-		if ps[i].InjectStep < ps[i-1].InjectStep {
-			t.Fatalf("FIFO violated: %d before %d", ps[i].InjectStep, ps[i-1].InjectStep)
+		if st.InjectStep[ps[i]] < st.InjectStep[ps[i-1]] {
+			t.Fatalf("FIFO violated: %d before %d", st.InjectStep[ps[i]], st.InjectStep[ps[i-1]])
 		}
 	}
 }

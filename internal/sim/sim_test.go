@@ -18,8 +18,8 @@ func (greedyXY) Update(net *Network, n *Node)   {}
 func (greedyXY) Schedule(net *Network, n *Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
 	taken := [grid.NumDirs]bool{}
-	for i, p := range n.Packets {
-		prof := net.Topo.Profitable(n.ID, p.Dst)
+	for i, p := range net.PacketsOf(n) {
+		prof := net.Topo.Profitable(n.ID, net.P.Dst[p])
 		// Dimension order: horizontal first.
 		var want grid.Dir = grid.NoDir
 		switch {
@@ -43,7 +43,7 @@ func (greedyXY) Schedule(net *Network, n *Node) [grid.NumDirs]int {
 func (greedyXY) Accept(net *Network, n *Node, offers []Offer, acc []bool) {
 	free := net.K - n.QueueLen(0)
 	for i, o := range offers {
-		if o.P.Dst == n.ID {
+		if net.P.Dst[o.P] == n.ID {
 			acc[i] = true // delivery consumes no space
 			continue
 		}
@@ -80,8 +80,8 @@ func TestSinglePacketStraightLine(t *testing.T) {
 	if steps != 5 {
 		t.Fatalf("steps = %d, want 5 (distance)", steps)
 	}
-	if !p.Delivered() || p.DeliverStep != 5 || p.Hops != 5 {
-		t.Fatalf("packet state %+v", p)
+	if !net.P.Delivered(p) || net.P.DeliverStep[p] != 5 || net.P.Hops[p] != 5 {
+		t.Fatalf("packet state %+v", net.PacketSnapshot(p))
 	}
 	if !net.Done() {
 		t.Fatal("network must be done")
@@ -97,7 +97,7 @@ func TestSinglePacketTurns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := m.Dist(p.Src, p.Dst)
+	want := m.Dist(net.P.Src[p], net.P.Dst[p])
 	if steps != want {
 		t.Fatalf("steps = %d, want %d", steps, want)
 	}
@@ -107,8 +107,8 @@ func TestSelfDeliveredAtPlacement(t *testing.T) {
 	net := newTestNet(t, 4, 1)
 	p := net.NewPacket(5, 5)
 	net.MustPlace(p)
-	if !p.Delivered() || p.DeliverStep != 0 {
-		t.Fatalf("fixed-point packet must deliver at placement: %+v", p)
+	if !net.P.Delivered(p) || net.P.DeliverStep[p] != 0 {
+		t.Fatalf("fixed-point packet must deliver at placement: %+v", net.PacketSnapshot(p))
 	}
 	if !net.Done() {
 		t.Fatal("done expected")
@@ -185,21 +185,21 @@ func TestExchangeHookSwapsDestinations(t *testing.T) {
 	swapped := false
 	net.SetExchange(func(n *Network, step int, moves []Move) {
 		if step == 1 && !swapped {
-			a.Dst, b.Dst = b.Dst, a.Dst
+			n.P.Dst[a], n.P.Dst[b] = n.P.Dst[b], n.P.Dst[a]
 			swapped = true
 		}
 	})
 	if _, err := net.Run(greedyXY{}, 100); err != nil {
 		t.Fatal(err)
 	}
-	if m.CoordOf(a.Dst) != (grid.XY(5, 5)) || m.CoordOf(b.Dst) != (grid.XY(4, 4)) {
+	if m.CoordOf(net.P.Dst[a]) != (grid.XY(5, 5)) || m.CoordOf(net.P.Dst[b]) != (grid.XY(4, 4)) {
 		t.Fatal("exchange did not persist")
 	}
 	// Both packets start on the shared diagonal corridor; after the swap
 	// each must still arrive at its (new) destination minimally.
-	for _, p := range []*Packet{a, b} {
-		if !p.Delivered() {
-			t.Fatalf("packet %d undelivered", p.ID)
+	for _, p := range []PacketID{a, b} {
+		if !net.P.Delivered(p) {
+			t.Fatalf("packet %d undelivered", p.ID())
 		}
 	}
 }
@@ -234,8 +234,8 @@ type badAlg struct{ greedyXY }
 
 func (badAlg) Schedule(net *Network, n *Node) [grid.NumDirs]int {
 	sched := [grid.NumDirs]int{-1, -1, -1, -1}
-	p := n.Packets[0]
-	prof := net.Topo.Profitable(n.ID, p.Dst)
+	p := net.PacketsOf(n)[0]
+	prof := net.Topo.Profitable(n.ID, net.P.Dst[p])
 	for d := grid.Dir(0); d < grid.NumDirs; d++ {
 		if !prof.Has(d) {
 			if _, ok := net.Topo.Neighbor(n.ID, d); ok {
@@ -285,11 +285,11 @@ func TestInjectionWaitsForRoom(t *testing.T) {
 	if _, err := net.Run(greedyXY{}, 100); err != nil {
 		t.Fatal(err)
 	}
-	if !p1.Delivered() || !p2.Delivered() {
+	if !net.P.Delivered(p1) || !net.P.Delivered(p2) {
 		t.Fatal("both injected packets must deliver")
 	}
-	if p2.InjectStep <= p1.InjectStep {
-		t.Fatalf("k=1: second injection must wait (inject steps %d, %d)", p1.InjectStep, p2.InjectStep)
+	if net.P.InjectStep[p2] <= net.P.InjectStep[p1] {
+		t.Fatalf("k=1: second injection must wait (inject steps %d, %d)", net.P.InjectStep[p1], net.P.InjectStep[p2])
 	}
 }
 
@@ -331,15 +331,15 @@ func TestPerInlinkQueueTags(t *testing.T) {
 	m := net.Topo
 	p := net.NewPacket(m.ID(grid.XY(0, 0)), m.ID(grid.XY(2, 0)))
 	net.MustPlace(p)
-	if p.QTag != OriginTag {
-		t.Fatalf("origin tag = %d", p.QTag)
+	if net.P.QTag[p] != OriginTag {
+		t.Fatalf("origin tag = %d", net.P.QTag[p])
 	}
 	if err := net.StepOnce(greedyXY{}); err != nil {
 		t.Fatal(err)
 	}
 	// Travelling East, the packet arrives in the West queue of (1,0).
-	if p.QTag != uint8(grid.West) {
-		t.Fatalf("after eastward hop, tag = %d, want West", p.QTag)
+	if net.P.QTag[p] != uint8(grid.West) {
+		t.Fatalf("after eastward hop, tag = %d, want West", net.P.QTag[p])
 	}
 	node := net.Node(m.ID(grid.XY(1, 0)))
 	if node.QueueLen(uint8(grid.West)) != 1 || node.NetworkLen() != 1 {

@@ -84,7 +84,7 @@ func (net *Network) run(ctx context.Context, alg Algorithm, maxSteps int, allowP
 
 // arrival is one accepted transmission being applied in part (d).
 type arrival struct {
-	p   *Packet
+	p   PacketID
 	to  grid.NodeID
 	dir grid.Dir
 }
@@ -92,7 +92,9 @@ type arrival struct {
 // StepOnce executes one synchronous step: outqueue scheduling, adversary
 // exchanges, inqueue acceptance, transmission, and state update. At steady
 // state (no injections, nil sink) it performs zero heap allocations: every
-// per-step buffer lives in stepScratch and is reused across steps.
+// per-step buffer lives in stepScratch and is reused across steps, and the
+// index-based queue slots never grow once a node's region has reached its
+// peak occupancy.
 func (net *Network) StepOnce(alg Algorithm) error {
 	if !net.inited {
 		net.compactOcc()
@@ -112,6 +114,7 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	net.compactOcc()
 
 	s := &net.scratch
+	st := &net.P
 	s.bumpStamp()
 
 	// Part (a): outqueue policies schedule packets. Stalled nodes are
@@ -167,8 +170,8 @@ func (net *Network) StepOnce(alg Algorithm) error {
 			// scheduled moves (they do in the paper's construction;
 			// verify here).
 			for _, m := range moves {
-				if !net.Topo.Profitable(m.From, m.P.Dst).Has(m.Travel) {
-					return fmt.Errorf("sim: exchange made scheduled move of packet %d non-minimal", m.P.ID)
+				if !net.Topo.Profitable(m.From, st.Dst[m.P]).Has(m.Travel) {
+					return fmt.Errorf("sim: exchange made scheduled move of packet %d non-minimal", m.P.ID())
 				}
 			}
 		}
@@ -195,7 +198,7 @@ func (net *Network) StepOnce(alg Algorithm) error {
 			net.Metrics.FaultDrops++
 			continue
 		}
-		if m.To == m.P.Dst {
+		if m.To == st.Dst[m.P] {
 			arrivals = append(arrivals, arrival{p: m.P, to: m.To, dir: m.Travel})
 			continue
 		}
@@ -223,7 +226,7 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		if net.hasFaults && net.stalledCnt[m.To] > 0 {
 			continue
 		}
-		if m.To == m.P.Dst {
+		if m.To == st.Dst[m.P] {
 			continue
 		}
 		offers[s.offStart[m.To]] = Offer{P: m.P, From: m.From, Travel: m.Travel}
@@ -252,20 +255,20 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	// Part (d): simultaneous transmission. Remove all movers first, then
 	// insert, so departures free space for arrivals within the step.
 	// Each mover is located at its sender in O(1) via its engine-maintained
-	// queue index, and each sender's queue is compacted once, preserving
-	// FIFO order of the packets that stay.
+	// slot index, and each sender's queue region is compacted once,
+	// preserving FIFO order of the packets that stay.
 	senders := s.senders[:0]
 	for _, a := range arrivals {
 		p := a.p
 		src, ok := net.Topo.Neighbor(a.to, a.dir.Opposite())
-		if !ok || p.At != src {
-			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID)
+		if !ok || st.At[p] != src {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
 		}
 		node := &net.nodes[src]
-		if int(p.idx) >= len(node.Packets) || node.Packets[p.idx] != p {
-			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID)
+		if uint32(st.slot[p]) >= node.qLen || net.slots[node.qStart+uint32(st.slot[p])] != p {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
 		}
-		p.departing = true
+		st.departing[p] = true
 		if s.sendMark[src] != s.stamp {
 			s.sendMark[src] = s.stamp
 			senders = append(senders, src)
@@ -274,30 +277,31 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	s.senders = senders
 	for _, id := range senders {
 		node := &net.nodes[id]
-		w := 0
-		for _, q := range node.Packets {
-			if q.departing {
-				node.counts[q.QTag]--
+		q := net.slots[node.qStart : node.qStart+node.qLen]
+		w := uint32(0)
+		for _, p := range q {
+			if st.departing[p] {
+				node.counts[st.QTag[p]]--
 				continue
 			}
-			q.idx = int32(w)
-			node.Packets[w] = q
+			st.slot[p] = int32(w)
+			q[w] = p
 			w++
 		}
-		node.Packets = node.Packets[:w]
+		node.qLen = w
 	}
 	for _, a := range arrivals {
 		p := a.p
-		p.departing = false
-		p.Hops++
+		st.departing[p] = false
+		st.Hops[p]++
 		net.Metrics.TotalHops++
-		p.Arrived = a.dir
-		p.ArrivedStep = t
-		if a.to == p.Dst {
-			p.At = a.to
-			p.DeliverStep = t
+		st.Arrived[p] = a.dir
+		st.ArrivedStep[p] = int32(t)
+		if a.to == st.Dst[p] {
+			st.At[p] = a.to
+			st.DeliverStep[p] = int32(t)
 			net.delivered++
-			net.Metrics.noteDelivered(p, t)
+			net.Metrics.noteDelivered(int(st.InjectStep[p]), t)
 			continue
 		}
 		tag := uint8(0)
@@ -364,8 +368,8 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		for _, a := range arrivals {
 			src, _ := net.Topo.Neighbor(a.to, a.dir.Opposite())
 			recMoves = append(recMoves, Move{P: a.p, From: src, To: a.to, Travel: a.dir})
-			if a.p.Delivered() && a.p.DeliverStep == t {
-				recDelivered = append(recDelivered, a.p.ID)
+			if st.DeliverStep[a.p] == int32(t) {
+				recDelivered = append(recDelivered, a.p.ID())
 			}
 		}
 		rec.Moves, rec.Delivered = recMoves, recDelivered
@@ -382,10 +386,11 @@ func (net *Network) StepOnce(alg Algorithm) error {
 // state as read-only, so disjoint shards may run concurrently.
 func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) ([]Move, int, error) {
 	t := net.step
+	st := &net.P
 	drops := 0
 	for _, id := range ids {
 		node := &net.nodes[id]
-		if len(node.Packets) == 0 {
+		if node.qLen == 0 {
 			continue
 		}
 		if net.hasFaults {
@@ -396,11 +401,11 @@ func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) 
 			// whose every profitable outlink has permanently failed.
 			if net.cfg.RequireMinimal {
 				if pd := net.linkPerm[id]; pd != 0 {
-					for _, p := range node.Packets {
-						if prof := net.Topo.Profitable(id, p.Dst); prof != 0 && prof&^pd == 0 {
+					for _, p := range net.PacketsOf(node) {
+						if prof := net.Topo.Profitable(id, st.Dst[p]); prof != 0 && prof&^pd == 0 {
 							return dst, drops, &UnreachableError{
-								PacketID: p.ID, At: id, Dst: p.Dst,
-								AtCoord: net.Topo.CoordOf(id), DstCoord: net.Topo.CoordOf(p.Dst),
+								PacketID: p.ID(), At: id, Dst: st.Dst[p],
+								AtCoord: net.Topo.CoordOf(id), DstCoord: net.Topo.CoordOf(st.Dst[p]),
 								Step: t,
 							}
 						}
@@ -409,6 +414,7 @@ func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) 
 			}
 		}
 		sched := alg.Schedule(net, node)
+		q := net.PacketsOf(node)
 		var used [grid.NumDirs]int
 		for i := range used {
 			used[i] = -1
@@ -418,30 +424,30 @@ func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) 
 			if idx < 0 {
 				continue
 			}
-			if idx >= len(node.Packets) {
+			if idx >= len(q) {
 				return dst, drops, fmt.Errorf("sim: %s scheduled out-of-range packet index %d at node %v",
 					alg.Name(), idx, net.Topo.CoordOf(id))
 			}
 			for dd := grid.Dir(0); dd < d; dd++ {
 				if used[dd] == idx {
 					return dst, drops, fmt.Errorf("sim: %s scheduled packet %d on two outlinks at node %v",
-						alg.Name(), node.Packets[idx].ID, net.Topo.CoordOf(id))
+						alg.Name(), q[idx].ID(), net.Topo.CoordOf(id))
 				}
 			}
 			used[d] = idx
-			p := node.Packets[idx]
+			p := q[idx]
 			nb, ok := net.Topo.Neighbor(id, d)
 			if !ok {
 				return dst, drops, fmt.Errorf("sim: %s scheduled packet %d on missing outlink %v of node %v",
-					alg.Name(), p.ID, d, net.Topo.CoordOf(id))
+					alg.Name(), p.ID(), d, net.Topo.CoordOf(id))
 			}
-			if net.cfg.RequireMinimal && !net.Topo.Profitable(id, p.Dst).Has(d) {
+			if net.cfg.RequireMinimal && !net.Topo.Profitable(id, st.Dst[p]).Has(d) {
 				return dst, drops, fmt.Errorf("sim: %s scheduled non-minimal move of packet %d: %v -> %v toward %v",
-					alg.Name(), p.ID, net.Topo.CoordOf(id), net.Topo.CoordOf(nb), net.Topo.CoordOf(p.Dst))
+					alg.Name(), p.ID(), net.Topo.CoordOf(id), net.Topo.CoordOf(nb), net.Topo.CoordOf(st.Dst[p]))
 			}
 			if !net.cfg.RequireMinimal && net.cfg.MaxStray > 0 && !net.withinStray(p, nb) {
 				return dst, drops, fmt.Errorf("sim: %s moved packet %d more than %d beyond its source-destination rectangle",
-					alg.Name(), p.ID, net.cfg.MaxStray)
+					alg.Name(), p.ID(), net.cfg.MaxStray)
 			}
 			// A legal move onto a failed link is silently dropped: the
 			// packet stays put and may retry (or detour) next step.
@@ -496,8 +502,9 @@ func (s *stepScratch) bumpStamp() {
 
 // withinStray reports whether node nb lies within the packet's
 // source-destination rectangle inflated by MaxStray.
-func (net *Network) withinStray(p *Packet, nb grid.NodeID) bool {
-	s, d, c := net.Topo.CoordOf(p.Src), net.Topo.CoordOf(p.Dst), net.Topo.CoordOf(nb)
+func (net *Network) withinStray(p PacketID, nb grid.NodeID) bool {
+	st := &net.P
+	s, d, c := net.Topo.CoordOf(st.Src[p]), net.Topo.CoordOf(st.Dst[p]), net.Topo.CoordOf(nb)
 	loX, hiX := s.X, d.X
 	if loX > hiX {
 		loX, hiX = hiX, loX
@@ -517,12 +524,14 @@ func (net *Network) withinStray(p *Packet, nb grid.NodeID) bool {
 // is sorted before draining so nodes drain in ascending id order, exactly
 // the order the previous full-scan implementation used.
 func (net *Network) injectPending(t int) {
+	st := &net.P
 	if ps, ok := net.pendingInj[t]; ok {
 		for _, p := range ps {
-			net.backlog[p.Src] = append(net.backlog[p.Src], p)
-			if !net.inBacklog[p.Src] {
-				net.inBacklog[p.Src] = true
-				net.backlogNodes = append(net.backlogNodes, p.Src)
+			src := st.Src[p]
+			net.backlog[src] = append(net.backlog[src], p)
+			if !net.inBacklog[src] {
+				net.inBacklog[src] = true
+				net.backlogNodes = append(net.backlogNodes, src)
 			}
 		}
 		net.pendingTotal -= len(ps)
@@ -550,12 +559,12 @@ func (net *Network) injectPending(t int) {
 		node := &net.nodes[id]
 		for len(bl) > 0 {
 			p := bl[0]
-			if p.Src == p.Dst {
-				p.At = p.Dst
-				p.InjectStep = t
-				p.DeliverStep = t
+			if st.Src[p] == st.Dst[p] {
+				st.At[p] = st.Dst[p]
+				st.InjectStep[p] = int32(t)
+				st.DeliverStep[p] = int32(t)
 				net.delivered++
-				net.Metrics.noteDelivered(p, t)
+				net.Metrics.noteDelivered(t, t)
 				bl = bl[1:]
 				net.backlogTotal--
 				continue
@@ -569,7 +578,7 @@ func (net *Network) injectPending(t int) {
 					break
 				}
 			}
-			p.InjectStep = t
+			st.InjectStep[p] = int32(t)
 			net.attach(node, p, tag)
 			bl = bl[1:]
 			net.backlogTotal--
@@ -589,7 +598,7 @@ func (net *Network) injectPending(t int) {
 func (net *Network) compactOcc() {
 	w := 0
 	for _, id := range net.occ {
-		if len(net.nodes[id].Packets) > 0 {
+		if net.nodes[id].qLen > 0 {
 			net.occ[w] = id
 			w++
 		} else {

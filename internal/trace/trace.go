@@ -60,7 +60,7 @@ func (r *Recorder) Attach(net *sim.Network) {
 		}
 		st := StepTrace{Step: rec.Step, Delivered: rec.Delivered}
 		for _, m := range rec.Moves {
-			st.Moves = append(st.Moves, MoveRecord{Packet: m.P.ID, From: m.From, To: m.To, Dir: m.Travel})
+			st.Moves = append(st.Moves, MoveRecord{Packet: m.P.ID(), From: m.From, To: m.To, Dir: m.Travel})
 		}
 		if err := r.enc.Encode(st); err != nil {
 			r.err = err
