@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"meshroute"
 	"meshroute/internal/clt"
@@ -48,26 +49,27 @@ import (
 
 func main() {
 	var (
-		router       = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
-		n            = flag.Int("n", 32, "mesh side length")
-		k            = flag.Int("k", 2, "queue capacity per queue")
-		wl           = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
-		seed         = flag.Int64("seed", 1, "workload seed")
-		h            = flag.Int("h", 2, "h for the h-h workload")
-		torus        = flag.Bool("torus", false, "use a torus instead of a mesh")
-		maxSteps     = flag.Int("steps", 0, "step budget (0 = automatic)")
-		improved     = flag.Bool("improved-q", false, "clt: use the 564n constant")
-		showViz      = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
-		traceFile    = flag.String("trace", "", "write a JSON-lines step trace to this file")
-		metricsOut   = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
-		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
-		scenarioFile = flag.String("scenario", "", "run this scenario spec file instead of building one from the flags")
-		dumpScenario = flag.Bool("dump-scenario", false, "print the run's scenario spec as JSON and exit without running")
-		submitFile   = flag.String("submit", "", "submit this scenario spec file (or sweep array) to a meshrouted server instead of running locally")
-		server       = flag.String("server", "http://127.0.0.1:8421", "meshrouted base URL for -submit")
-		routerSeed   = flag.Uint64("router-seed", 0, "seed for a randomized router's decisions (rand-zigzag; 0 = default stream)")
-		workers      = flag.Int("workers", 0, "engine worker count for intra-step parallel scheduling (0 = serial)")
+		router        = flag.String("router", meshroute.RouterThm15, fmt.Sprintf("router: one of %v or clt", meshroute.RouterNames()))
+		n             = flag.Int("n", 32, "mesh side length")
+		k             = flag.Int("k", 2, "queue capacity per queue")
+		wl            = flag.String("workload", "random", "workload: random|random-dest|transpose|reversal|bitrev|rotation|hh")
+		seed          = flag.Int64("seed", 1, "workload seed")
+		h             = flag.Int("h", 2, "h for the h-h workload")
+		torus         = flag.Bool("torus", false, "use a torus instead of a mesh")
+		maxSteps      = flag.Int("steps", 0, "step budget (0 = automatic)")
+		improved      = flag.Bool("improved-q", false, "clt: use the 564n constant")
+		showViz       = flag.Bool("viz", false, "print occupancy/traffic heatmaps (non-clt routers)")
+		traceFile     = flag.String("trace", "", "write a JSON-lines step trace to this file")
+		metricsOut    = flag.String("metrics-out", "", "write metrics JSONL (per-step samples; clt: phase spans) to this file")
+		cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		scenarioFile  = flag.String("scenario", "", "run this scenario spec file instead of building one from the flags")
+		dumpScenario  = flag.Bool("dump-scenario", false, "print the run's scenario spec as JSON and exit without running")
+		submitFile    = flag.String("submit", "", "submit this scenario spec file (or sweep array) to a meshrouted server instead of running locally")
+		server        = flag.String("server", "http://127.0.0.1:8421", "meshrouted base URL for -submit")
+		submitTimeout = flag.Duration("submit-timeout", 2*time.Minute, "overall budget for -submit, including retries on transient errors (0 = no limit)")
+		routerSeed    = flag.Uint64("router-seed", 0, "seed for a randomized router's decisions (rand-zigzag; 0 = default stream)")
+		workers       = flag.Int("workers", 0, "engine worker count for intra-step parallel scheduling (0 = serial)")
 
 		faultSeed   = flag.Int64("fault-seed", 1, "fault schedule seed")
 		faultLinks  = flag.Int("fault-links", 0, "number of link-failure episodes to inject (0 = no link faults)")
@@ -100,7 +102,7 @@ func main() {
 		maxSteps: *maxSteps, improved: *improved, showViz: *showViz,
 		traceFile: *traceFile, metricsOut: *metricsOut,
 		scenarioFile: *scenarioFile, dumpScenario: *dumpScenario,
-		submitFile: *submitFile, server: *server,
+		submitFile: *submitFile, server: *server, submitTimeout: *submitTimeout,
 		routerSeed: *routerSeed, workers: *workers,
 		faultSeed: *faultSeed, faultLinks: *faultLinks, faultDown: *faultDown,
 		faultPerm: *faultPerm, faultStalls: *faultStalls, faultStall: *faultStall,
@@ -151,6 +153,7 @@ type cliOptions struct {
 	scenarioFile            string
 	dumpScenario            bool
 	submitFile, server      string
+	submitTimeout           time.Duration
 	routerSeed              uint64
 	workers                 int
 	faultSeed               int64

@@ -12,6 +12,17 @@
 //	meshrouted -addr :8421 -workers 4 -queue-depth 64
 //	meshroute -submit testdata/scenarios/smoke.json -server http://127.0.0.1:8421
 //
+// Fleet mode (see docs/SERVICE.md § Fleet) spreads sweep cells across
+// worker processes: start one coordinator and any number of workers, and
+// jobs submitted to the coordinator run wherever there is capacity —
+// with retries, heartbeat liveness, and per-worker circuit breakers, and
+// output byte-identical to a local run. With zero live workers the
+// coordinator degrades to in-process execution.
+//
+//	meshrouted -coordinator -addr :8421
+//	meshrouted -worker http://127.0.0.1:8421 -addr :8422
+//	meshrouted -worker http://127.0.0.1:8421 -addr :8423
+//
 // SIGINT/SIGTERM starts a graceful drain: new submissions are refused
 // (503), running jobs get up to -drain to finish, anything still running
 // after that is canceled and retires with partial statistics.
@@ -31,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"meshroute/internal/fleet"
 	"meshroute/internal/service"
 )
 
@@ -44,17 +56,42 @@ func main() {
 		eventBuffer = flag.Int("event-buffer", 65536, "per-job cap on buffered NDJSON event records")
 		retainJobs  = flag.Int("retain-jobs", 4096, "terminal jobs kept in memory before eviction")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before running jobs are canceled")
+
+		coordinator  = flag.Bool("coordinator", false, "accept worker registrations and dispatch jobs to the fleet")
+		workerFor    = flag.String("worker", "", "run as a fleet worker for this coordinator URL (no job API)")
+		advertise    = flag.String("advertise", "", "base URL workers announce to the coordinator (default: derived from -addr)")
+		heartbeat    = flag.Duration("heartbeat", 2*time.Second, "worker announce interval")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 6*time.Second, "coordinator: a worker quiet this long is dead")
+		cellDeadline = flag.Duration("cell-deadline", 5*time.Minute, "coordinator: per-attempt cell deadline before re-dispatch (straggler work-stealing)")
+		cellRetries  = flag.Int("cell-retries", 4, "coordinator: dispatch attempts per cell before the job fails")
+		cellSlots    = flag.Int("cell-slots", 0, "worker: concurrent cell executions (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	if *workerFor != "" {
+		if *coordinator {
+			log.Fatal("-worker and -coordinator are mutually exclusive")
+		}
+		runWorker(*addr, *workerFor, *advertise, *cellSlots, *eventBuffer, *heartbeat, *drain)
+		return
+	}
+
+	cfg := service.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CacheSize:   *cacheSize,
 		MaxJobSteps: *maxJobSteps,
 		EventBuffer: *eventBuffer,
 		RetainJobs:  *retainJobs,
-	})
+	}
+	if *coordinator {
+		cfg.Fleet = fleet.NewCoordinator(fleet.Config{
+			HeartbeatTimeout: *hbTimeout,
+			CellDeadline:     *cellDeadline,
+			MaxAttempts:      *cellRetries,
+		})
+	}
+	svc := service.New(cfg)
 	srv := &http.Server{Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -62,6 +99,10 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("meshrouted listening on %s", ln.Addr())
+	if *coordinator {
+		log.Printf("fleet coordinator mode: workers register at POST /v1/workers (heartbeat timeout %s, cell deadline %s, %d attempts)",
+			*hbTimeout, *cellDeadline, *cellRetries)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,54 @@
+package fleet
+
+import "time"
+
+// Breaker states reported by WorkerStatus.Breaker.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is a per-worker circuit breaker: threshold consecutive dispatch
+// failures open it for cooldown, during which the worker receives no
+// cells; after the cooldown one probe attempt is allowed (half-open) — a
+// success closes the breaker, a failure re-opens it for another cooldown.
+// All methods are called with the coordinator's lock held.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	fails     int // consecutive failures
+	openUntil time.Time
+}
+
+// allow reports whether a dispatch to this worker may proceed now.
+func (b *breaker) allow(now time.Time) bool {
+	if b.fails < b.threshold {
+		return true
+	}
+	return !now.Before(b.openUntil) // half-open probe
+}
+
+// success closes the breaker.
+func (b *breaker) success() { b.fails = 0 }
+
+// failure records one dispatch failure, (re-)opening the breaker at the
+// threshold.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// state names the breaker's position for status reporting.
+func (b *breaker) state(now time.Time) string {
+	switch {
+	case b.fails < b.threshold:
+		return BreakerClosed
+	case now.Before(b.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Chaos is a deterministic fault-injecting http.RoundTripper — the
+// fleet's chaos harness. Installed as the coordinator client's transport,
+// it subjects every dispatch to seeded faults: dropped connections,
+// delayed requests, synthetic 5xx answers, and mid-stream disconnects
+// that truncate the response body partway. The RNG is seeded, so a given
+// (seed, request sequence) replays the same fault pattern; counters
+// record what actually fired so tests can assert coverage.
+//
+// Probabilities are evaluated cumulatively in field order (Drop, Delay,
+// Err5xx, Disconnect); their sum must be ≤ 1 and the remainder passes the
+// request through untouched.
+type Chaos struct {
+	// Base performs undisturbed round trips. nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Drop is the probability the request never reaches the worker (a
+	// synthetic connection failure).
+	Drop float64
+	// Delay is the probability the request is held for DelayFor before
+	// being forwarded (stragglers; with a short CellDeadline this
+	// exercises deadline-triggered re-dispatch).
+	Delay float64
+	// Err5xx is the probability of a synthetic 500 answer.
+	Err5xx float64
+	// Disconnect is the probability the response body is cut after
+	// TruncateAfter bytes.
+	Disconnect float64
+	// DelayFor is the injected straggler latency. Default 50ms.
+	DelayFor time.Duration
+	// TruncateAfter is where a disconnect cuts the body. Default 64.
+	TruncateAfter int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts ChaosCounts
+}
+
+// ChaosCounts tallies injected faults and clean passes.
+type ChaosCounts struct {
+	Drops, Delays, Errs, Disconnects, Passes int
+}
+
+// Total returns the number of faults injected (everything but passes).
+func (c ChaosCounts) Total() int { return c.Drops + c.Delays + c.Errs + c.Disconnects }
+
+// NewChaos creates a Chaos transport with the given seed; configure the
+// fault probabilities on the returned value before use.
+func NewChaos(seed int64, base http.RoundTripper) *Chaos {
+	return &Chaos{Base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Counts snapshots the fault tallies.
+func (c *Chaos) Counts() ChaosCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// chaosFault enumerates the injected fault kinds.
+type chaosFault int
+
+const (
+	faultNone chaosFault = iota
+	faultDrop
+	faultDelay
+	faultErr5xx
+	faultDisconnect
+)
+
+// roll draws the fault for one request from the seeded stream.
+func (c *Chaos) roll() chaosFault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.rng.Float64()
+	switch {
+	case r < c.Drop:
+		c.counts.Drops++
+		return faultDrop
+	case r < c.Drop+c.Delay:
+		c.counts.Delays++
+		return faultDelay
+	case r < c.Drop+c.Delay+c.Err5xx:
+		c.counts.Errs++
+		return faultErr5xx
+	case r < c.Drop+c.Delay+c.Err5xx+c.Disconnect:
+		c.counts.Disconnects++
+		return faultDisconnect
+	default:
+		c.counts.Passes++
+		return faultNone
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := c.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	switch c.roll() {
+	case faultDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: connection dropped to %s", req.URL.Host)
+	case faultDelay:
+		d := c.DelayFor
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		return base.RoundTrip(req)
+	case faultErr5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := `{"error":"chaos: synthetic internal error"}`
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case faultDisconnect:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		n := c.TruncateAfter
+		if n <= 0 {
+			n = 64
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: n}
+		return resp, nil
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// truncatedBody yields at most remaining bytes and then fails the read —
+// a mid-stream disconnect as the client sees one.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, fmt.Errorf("chaos: connection reset mid-stream")
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.rc.Read(p)
+	t.remaining -= n
+	if err == io.EOF {
+		return n, io.EOF // stream ended before the cut: nothing to truncate
+	}
+	if t.remaining <= 0 {
+		t.rc.Close()
+		return n, fmt.Errorf("chaos: connection reset mid-stream")
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }

@@ -1,0 +1,154 @@
+// Package fleet distributes sweep execution across worker processes: a
+// Coordinator shards scenario cells over HTTP onto registered Workers,
+// tracks worker health through heartbeats, retries failed dispatches with
+// exponential backoff and jitter behind a per-worker circuit breaker, and
+// re-dispatches cells owned by dead or straggling workers. Cells are
+// deterministic by construction — scenario.Spec.Fingerprint is
+// content-addressed and the engine is bit-reproducible — so replaying a
+// cell on another worker is always safe and the merged result is
+// byte-identical to a local run no matter which worker executed which
+// cell or how many retries occurred.
+//
+// The degradation contract lifts internal/fault's engine-level promise to
+// the fleet layer: every failure mode — dropped connections, delayed or
+// truncated responses, 5xx workers, workers killed mid-cell — ends either
+// in a completed, correct cell or in a typed error (*CellError,
+// ErrNoWorkers) the caller can act on; run-level aborts inside a cell
+// (livelock, invariant violation) are authoritative worker answers and
+// propagate with their partial statistics instead of being retried.
+//
+// The wire protocol is one endpoint per side. A worker serves
+// POST /v1/cells: the request body is a scenario spec, the response is
+// NDJSON — the cell's metrics-JSONL event lines verbatim (the
+// docs/OBSERVABILITY.md format), terminated by a single "t":"cell" result
+// line. The coordinator serves registration (wired through
+// internal/service as POST /v1/workers): a worker announces its base URL
+// and re-announces it every heartbeat interval; a worker whose heartbeat
+// goes quiet is excluded from dispatch until it reappears.
+//
+// See docs/SERVICE.md for the fleet API and docs/ROBUSTNESS.md for the
+// failure-mode matrix.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"meshroute"
+)
+
+// ErrNoWorkers reports that no live worker is registered. Callers that
+// can execute locally (internal/service) treat it as the signal to
+// degrade gracefully to in-process execution.
+var ErrNoWorkers = errors.New("fleet: no live workers")
+
+// Stats is the wire form of a run's routing statistics — the numbers
+// meshroute.RouteStats carries, with stable JSON names. internal/service
+// aliases this type, so the fleet protocol and the service API share one
+// definition.
+type Stats struct {
+	Makespan   int     `json:"makespan"`
+	Steps      int     `json:"steps"`
+	Done       bool    `json:"done"`
+	Delivered  int     `json:"delivered"`
+	Total      int     `json:"total"`
+	MaxQueue   int     `json:"max_queue"`
+	AvgDelay   float64 `json:"avg_delay"`
+	FaultDrops int     `json:"fault_drops"`
+}
+
+// RouteStats converts back to the facade's statistics type.
+func (s Stats) RouteStats() meshroute.RouteStats {
+	return meshroute.RouteStats{
+		Makespan:   s.Makespan,
+		Steps:      s.Steps,
+		Done:       s.Done,
+		Delivered:  s.Delivered,
+		Total:      s.Total,
+		MaxQueue:   s.MaxQueue,
+		AvgDelay:   s.AvgDelay,
+		FaultDrops: s.FaultDrops,
+	}
+}
+
+// ToStats converts the facade's statistics type to its wire form.
+func ToStats(st meshroute.RouteStats) Stats {
+	return Stats{
+		Makespan:   st.Makespan,
+		Steps:      st.Steps,
+		Done:       st.Done,
+		Delivered:  st.Delivered,
+		Total:      st.Total,
+		MaxQueue:   st.MaxQueue,
+		AvgDelay:   st.AvgDelay,
+		FaultDrops: st.FaultDrops,
+	}
+}
+
+// cellLine is the terminal NDJSON record of a POST /v1/cells response.
+// Its "t" discriminator is distinct from the obs line types, so a
+// response body splits unambiguously into verbatim event lines and one
+// result.
+type cellLine struct {
+	T             string `json:"t"` // always lineCell
+	Stats         Stats  `json:"stats"`
+	Error         string `json:"error,omitempty"`
+	Canceled      bool   `json:"canceled,omitempty"`
+	Diagnostics   string `json:"diagnostics,omitempty"`
+	EventsDropped int    `json:"events_dropped,omitempty"`
+}
+
+// lineCell is the cellLine discriminator value.
+const lineCell = "cell"
+
+// CellResult is one cell's outcome as merged by the coordinator. A
+// non-empty Error is a run-level abort reported by the worker (livelock,
+// invariant violation, cancellation): deterministic, so never retried,
+// with Stats holding the partial numbers — the same contract
+// internal/service exposes for local runs.
+type CellResult struct {
+	// Stats is the run's statistics (partial when Error is set).
+	Stats Stats
+	// Error is the run-level abort message, empty on success.
+	Error string
+	// Canceled reports that the abort was a cancellation.
+	Canceled bool
+	// Diagnostics is the engine state snapshot at abort time.
+	Diagnostics string
+	// Events holds the cell's metrics-JSONL lines exactly as a local run
+	// would have produced them (newline-terminated, in order).
+	Events [][]byte
+	// EventsDropped counts lines the worker discarded past its buffer.
+	EventsDropped int
+	// Worker is the base URL of the worker that produced the result.
+	Worker string
+	// Attempts is the number of dispatch attempts the cell consumed.
+	Attempts int
+}
+
+// CellError is the typed terminal failure of a cell dispatch: the fleet
+// exhausted its retry budget (or hit a permanent refusal) without any
+// worker completing the cell. Err preserves the last attempt's cause.
+type CellError struct {
+	// Fingerprint identifies the cell.
+	Fingerprint string
+	// Attempts is the number of dispatch attempts consumed.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("fleet: cell %.12s failed after %d attempts: %v", e.Fingerprint, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// permanentError marks an attempt failure that must not be retried (the
+// worker rejected the spec itself, e.g. 400).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }

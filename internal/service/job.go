@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"meshroute"
+	"meshroute/internal/fleet"
 	"meshroute/internal/scenario"
 )
 
@@ -30,45 +31,12 @@ func (s State) Terminal() bool {
 }
 
 // Stats is the wire form of a run's routing statistics — the same numbers
-// meshroute.RouteStats carries, with stable JSON names.
-type Stats struct {
-	Makespan   int     `json:"makespan"`
-	Steps      int     `json:"steps"`
-	Done       bool    `json:"done"`
-	Delivered  int     `json:"delivered"`
-	Total      int     `json:"total"`
-	MaxQueue   int     `json:"max_queue"`
-	AvgDelay   float64 `json:"avg_delay"`
-	FaultDrops int     `json:"fault_drops"`
-}
+// meshroute.RouteStats carries, with stable JSON names. It is an alias of
+// fleet.Stats, so the service API and the fleet cell protocol share one
+// wire shape (and the client's RouteStats conversion works on both).
+type Stats = fleet.Stats
 
-// RouteStats converts back to the facade's statistics type (the client
-// uses this to print service results exactly like local runs).
-func (s Stats) RouteStats() meshroute.RouteStats {
-	return meshroute.RouteStats{
-		Makespan:   s.Makespan,
-		Steps:      s.Steps,
-		Done:       s.Done,
-		Delivered:  s.Delivered,
-		Total:      s.Total,
-		MaxQueue:   s.MaxQueue,
-		AvgDelay:   s.AvgDelay,
-		FaultDrops: s.FaultDrops,
-	}
-}
-
-func toStats(st meshroute.RouteStats) Stats {
-	return Stats{
-		Makespan:   st.Makespan,
-		Steps:      st.Steps,
-		Done:       st.Done,
-		Delivered:  st.Delivered,
-		Total:      st.Total,
-		MaxQueue:   st.MaxQueue,
-		AvgDelay:   st.AvgDelay,
-		FaultDrops: st.FaultDrops,
-	}
-}
+func toStats(st meshroute.RouteStats) Stats { return fleet.ToStats(st) }
 
 // JobStatus is the JSON shape of one job in API responses
 // (POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id}).
@@ -84,6 +52,10 @@ type JobStatus struct {
 	// CacheHit reports whether the result was served from the cache
 	// without simulating.
 	CacheHit bool `json:"cache_hit"`
+	// Deduped reports singleflight coalescing: an identical spec was
+	// already in flight at submission, so this job attached to that
+	// execution instead of running its own.
+	Deduped bool `json:"deduped,omitempty"`
 	// Stats is the run's statistics: final for done jobs, partial for
 	// failed/canceled jobs that had started, absent otherwise.
 	Stats *Stats `json:"stats,omitempty"`
@@ -115,11 +87,20 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	stream *stream
-	onDone func()
+	// sharedStream marks stream as borrowed from a singleflight primary:
+	// retiring this job must not close it (the primary owns it).
+	sharedStream bool
+	onDone       func()
+
+	// attached are deduped jobs coalesced onto this execution; they are
+	// retired with this job's outcome when it finishes. Guarded by the
+	// server's mu, not the job's.
+	attached []*job
 
 	mu          sync.Mutex
 	state       State
 	cacheHit    bool
+	deduped     bool
 	stats       *Stats
 	errMsg      string
 	diagnostics string
@@ -169,10 +150,12 @@ func (j *job) finishLocked(state State, stats *Stats, errMsg, diagnostics string
 }
 
 // afterFinish runs the transition's side effects outside j.mu: close the
-// event stream, release the context, and balance the server's active-job
-// accounting.
+// event stream (unless it belongs to a singleflight primary), release the
+// context, and balance the server's active-job accounting.
 func (j *job) afterFinish() {
-	j.stream.close()
+	if !j.sharedStream {
+		j.stream.close()
+	}
 	j.cancel() // release the context even on natural completion
 	if j.onDone != nil {
 		j.onDone()
@@ -205,6 +188,7 @@ func (j *job) status() JobStatus {
 		State:       j.state,
 		Fingerprint: j.fingerprint,
 		CacheHit:    j.cacheHit,
+		Deduped:     j.deduped,
 		Stats:       j.stats,
 		Error:       j.errMsg,
 		Diagnostics: j.diagnostics,

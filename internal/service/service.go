@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"meshroute/internal/fleet"
 	"meshroute/internal/obs"
 	"meshroute/internal/scenario"
 	"meshroute/internal/sim"
@@ -56,6 +59,12 @@ type Config struct {
 	// RetainJobs bounds the in-memory job registry; the oldest terminal
 	// jobs are evicted past it. Default: 4096.
 	RetainJobs int
+	// Fleet, when non-nil, makes this server a coordinator: jobs are
+	// dispatched to registered fleet workers (POST /v1/workers to
+	// register, GET /v1/workers to inspect) and executed in-process only
+	// while no live worker exists. The server's cache and singleflight
+	// sit in front of dispatch, so identical specs run once fleet-wide.
+	Fleet *fleet.Coordinator
 }
 
 // Server is the simulation service. Create with New, expose via Handler,
@@ -76,9 +85,17 @@ type Server struct {
 	idleCond *sync.Cond
 	jobs     map[string]*job
 	jobOrder []string
+	inflight map[string]*job // fingerprint → executing job (singleflight)
+	dedups   int64           // submissions coalesced onto an in-flight job
 	nextID   int
 	active   int // admitted, not yet terminal (cache hits never count)
 	draining bool
+
+	// durations is a ring of recent executed-job wall times (seconds),
+	// the Retry-After estimator's input.
+	durations []float64
+	durNext   int
+	durCount  int
 
 	shutdownOnce sync.Once
 	start        time.Time
@@ -109,14 +126,16 @@ func New(cfg Config) *Server {
 		cfg.RetainJobs = 4096
 	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		counters: &obs.Counters{},
-		cache:    newCache(cfg.CacheSize),
-		queue:    make(chan *job, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		jobs:     make(map[string]*job),
-		start:    time.Now(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		counters:  &obs.Counters{},
+		cache:     newCache(cfg.CacheSize),
+		queue:     make(chan *job, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		durations: make([]float64, 32),
+		start:     time.Now(),
 	}
 	s.idleCond = sync.NewCond(&s.mu)
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
@@ -128,6 +147,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Fleet != nil {
+		s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+		s.mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
@@ -198,9 +221,27 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// jobDone is every job's onDone callback: it balances the active count
-// and wakes Shutdown when the service goes idle.
-func (s *Server) jobDone() {
+// jobDone is every executing job's onDone callback: it releases the
+// job's singleflight slot, fans its outcome out to every submission that
+// attached while it ran, and balances the active count, waking Shutdown
+// when the service goes idle.
+func (s *Server) jobDone(j *job) {
+	final := j.status()
+	s.mu.Lock()
+	if s.inflight[j.fingerprint] == j {
+		delete(s.inflight, j.fingerprint)
+	}
+	attached := j.attached
+	j.attached = nil
+	s.mu.Unlock()
+	for _, a := range attached {
+		var stats *Stats
+		if final.Stats != nil {
+			st := *final.Stats
+			stats = &st
+		}
+		a.finish(final.State, stats, final.Error, final.Diagnostics)
+	}
 	s.mu.Lock()
 	s.active--
 	if s.active == 0 {
@@ -231,7 +272,8 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job through the scenario Runner, feeding the shared
+// runJob executes one job — on the fleet when this server coordinates
+// one with live workers, in-process otherwise — feeding the shared
 // counters and the job's event stream, and retires it.
 func (s *Server) runJob(j *job) {
 	if !j.start() {
@@ -243,6 +285,11 @@ func (s *Server) runJob(j *job) {
 	}
 	if s.testJobStart != nil {
 		s.testJobStart(j)
+	}
+	began := time.Now()
+	defer func() { s.recordDuration(time.Since(began)) }()
+	if s.cfg.Fleet != nil && s.cfg.Fleet.Alive() > 0 && s.runRemote(j) {
+		return
 	}
 	runner := scenario.Runner{Sink: obs.Multi{s.counters, j.stream}}
 	if s.testStepHook != nil {
@@ -267,6 +314,124 @@ func (s *Server) runJob(j *job) {
 	}
 	s.cache.put(j.fingerprint, stats)
 	j.finish(StateDone, &stats, "", "")
+}
+
+// runRemote dispatches one job to the fleet and commits the outcome. It
+// returns false — leaving the job running, untouched — only when the
+// fleet reports no live workers, in which case the caller degrades to
+// in-process execution; every other outcome (success, run-level abort,
+// typed dispatch failure, cancellation) retires the job here.
+func (s *Server) runRemote(j *job) bool {
+	res, err := s.cfg.Fleet.Execute(j.ctx, j.spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, fleet.ErrNoWorkers):
+			return false
+		case j.ctx.Err() != nil:
+			j.finish(StateCanceled, nil, "canceled during fleet dispatch: "+err.Error(), "")
+		default:
+			j.finish(StateFailed, nil, err.Error(), "")
+		}
+		return true
+	}
+	// Commit the worker's event lines verbatim (byte-identical to a local
+	// run) and replay them into the shared counters, so /metrics
+	// aggregates fleet-wide engine throughput exactly as if the cell had
+	// run here.
+	for _, line := range res.Events {
+		j.stream.appendRaw(line)
+	}
+	j.stream.addDropped(res.EventsDropped)
+	if steps, spans, events, err := obs.ReadJSONL(bytes.NewReader(bytes.Join(res.Events, nil))); err == nil {
+		for _, sample := range steps {
+			s.counters.Step(sample)
+		}
+		for _, sp := range spans {
+			s.counters.Span(sp)
+		}
+		for _, e := range events {
+			s.counters.Event(e)
+		}
+	}
+	st := res.Stats
+	switch {
+	case res.Canceled:
+		j.finish(StateCanceled, &st, res.Error, res.Diagnostics)
+	case res.Error != "":
+		j.finish(StateFailed, &st, res.Error, res.Diagnostics)
+	default:
+		s.cache.put(j.fingerprint, st)
+		j.finish(StateDone, &st, "", "")
+	}
+	return true
+}
+
+// recordDuration folds one executed job's wall time into the ring behind
+// the Retry-After estimate.
+func (s *Server) recordDuration(d time.Duration) {
+	s.mu.Lock()
+	s.durations[s.durNext] = d.Seconds()
+	s.durNext = (s.durNext + 1) % len(s.durations)
+	if s.durCount < len(s.durations) {
+		s.durCount++
+	}
+	s.mu.Unlock()
+}
+
+// retryAfterLocked estimates, in whole seconds, how long until the queue
+// can take `needed` more jobs: the mean recent job duration times the
+// shortfall, spread over the worker pool, clamped to [1, 60]. Before any
+// job has finished the estimate is the 1-second floor. Caller holds s.mu.
+func (s *Server) retryAfterLocked(needed int64) int {
+	mean := 0.0
+	for i := 0; i < s.durCount; i++ {
+		mean += s.durations[i]
+	}
+	if s.durCount > 0 {
+		mean /= float64(s.durCount)
+	}
+	free := s.cfg.QueueDepth - len(s.queue)
+	shortfall := needed - int64(free)
+	if shortfall < 1 {
+		shortfall = 1
+	}
+	secs := int(mean*float64(shortfall)/float64(s.cfg.Workers)) + 1
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// handleWorkerRegister is POST /v1/workers (coordinator mode): a fleet
+// worker announces {"url": base} to register and re-announces it as its
+// heartbeat.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "parse registration: %v", err)
+		return
+	}
+	u, err := url.Parse(body.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		writeError(w, http.StatusBadRequest, "registration url %q is not an absolute URL", body.URL)
+		return
+	}
+	s.cfg.Fleet.Register(body.URL)
+	writeJSON(w, http.StatusOK, struct {
+		Workers int `json:"workers"`
+	}{s.cfg.Fleet.Alive()})
+}
+
+// handleWorkerList is GET /v1/workers (coordinator mode).
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workers []fleet.WorkerStatus `json:"workers"`
+	}{s.cfg.Fleet.Workers()})
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -373,23 +538,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
-	var hits, misses int64
+	// Three admission buckets: cache hits cost nothing, submissions whose
+	// fingerprint is already executing (or appears earlier in this very
+	// submission) coalesce onto that execution via singleflight, and only
+	// genuinely fresh specs need queue slots.
+	var hits, deduped, misses int64
+	fresh := make(map[string]bool)
 	for i := range adms {
 		adms[i].st, adms[i].hit = s.cache.lookup(adms[i].fp)
-		if adms[i].hit {
+		switch {
+		case adms[i].hit:
 			hits++
-		} else {
+		case s.inflight[adms[i].fp] != nil || fresh[adms[i].fp]:
+			deduped++
+		default:
+			fresh[adms[i].fp] = true
 			misses++
 		}
 	}
 	if free := s.cfg.QueueDepth - len(s.queue); int64(free) < misses {
+		retryAfter := s.retryAfterLocked(misses)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		writeError(w, http.StatusTooManyRequests,
-			"queue full: %d of %d slots free, submission needs %d", s.cfg.QueueDepth-len(s.queue), s.cfg.QueueDepth, misses)
+			"queue full: %d of %d slots free, submission needs %d", free, s.cfg.QueueDepth, misses)
 		return
 	}
 	s.cache.record(hits, misses)
+	s.dedups += deduped
 	statuses := make([]JobStatus, len(adms))
 	for i, adm := range adms {
 		statuses[i] = s.admitLocked(adm)
@@ -407,7 +583,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // admitLocked registers one admitted spec as a job (caller holds s.mu and
-// has reserved queue capacity for misses).
+// has reserved queue capacity for fresh misses). A spec whose fingerprint
+// is already executing attaches to that job instead of enqueuing — the
+// singleflight guarantee that identical concurrent submissions run the
+// engine exactly once.
 func (s *Server) admitLocked(adm admission) JobStatus {
 	s.nextID++
 	id := fmt.Sprintf("j-%06d", s.nextID)
@@ -434,6 +613,26 @@ func (s *Server) admitLocked(adm admission) JobStatus {
 		s.jobOrder = append(s.jobOrder, id)
 		return j.status()
 	}
+	if primary := s.inflight[adm.fp]; primary != nil {
+		// Share the primary's stream so followers of either job see the
+		// same bytes; jobDone retires this job with the primary's outcome.
+		j := &job{
+			id:           id,
+			spec:         adm.spec,
+			fingerprint:  adm.fp,
+			cancel:       func() {},
+			stream:       primary.stream,
+			sharedStream: true,
+			state:        StateQueued,
+			deduped:      true,
+			created:      now,
+			done:         make(chan struct{}),
+		}
+		primary.attached = append(primary.attached, j)
+		s.jobs[id] = j
+		s.jobOrder = append(s.jobOrder, id)
+		return j.status()
+	}
 	ctx, cancel := context.WithCancel(s.jobsCtx)
 	j := &job{
 		id:          id,
@@ -442,13 +641,14 @@ func (s *Server) admitLocked(adm admission) JobStatus {
 		ctx:         ctx,
 		cancel:      cancel,
 		stream:      newStream(s.cfg.EventBuffer),
-		onDone:      s.jobDone,
 		state:       StateQueued,
 		created:     now,
 		done:        make(chan struct{}),
 	}
+	j.onDone = func() { s.jobDone(j) }
 	s.jobs[id] = j
 	s.jobOrder = append(s.jobOrder, id)
+	s.inflight[adm.fp] = j
 	s.active++
 	s.queue <- j // capacity reserved under s.mu; never blocks
 	return j.status()
@@ -573,14 +773,26 @@ type Metrics struct {
 	QueueCapacity int           `json:"queue_capacity"`
 	Cache         CacheMetrics  `json:"cache"`
 	Engine        EngineMetrics `json:"engine"`
+	Fleet         *FleetMetrics `json:"fleet,omitempty"`
 }
 
-// CacheMetrics describes the result cache.
+// CacheMetrics describes the result cache and singleflight coalescing.
 type CacheMetrics struct {
 	Hits     int64   `json:"hits"`
 	Misses   int64   `json:"misses"`
 	HitRatio float64 `json:"hit_ratio"`
 	Entries  int     `json:"entries"`
+	// Deduped counts submissions that attached to an already-executing
+	// identical spec instead of running their own simulation.
+	Deduped int64 `json:"deduped"`
+}
+
+// FleetMetrics describes the coordinator's worker fleet (coordinator
+// mode only).
+type FleetMetrics struct {
+	Alive   int                  `json:"alive"`
+	Workers []fleet.WorkerStatus `json:"workers"`
+	Totals  fleet.Totals         `json:"totals"`
 }
 
 // EngineMetrics aggregates simulation throughput across every job.
@@ -605,12 +817,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	m.Draining = s.draining
 	m.QueueDepth = len(s.queue)
+	deduped := s.dedups
 	for _, j := range s.jobs {
 		m.Jobs[j.currentState()]++
 	}
 	s.mu.Unlock()
 	hits, misses, size := s.cache.stats()
-	m.Cache = CacheMetrics{Hits: hits, Misses: misses, Entries: size}
+	m.Cache = CacheMetrics{Hits: hits, Misses: misses, Entries: size, Deduped: deduped}
+	if s.cfg.Fleet != nil {
+		m.Fleet = &FleetMetrics{
+			Alive:   s.cfg.Fleet.Alive(),
+			Workers: s.cfg.Fleet.Workers(),
+			Totals:  s.cfg.Fleet.Stats(),
+		}
+	}
 	if lookups := hits + misses; lookups > 0 {
 		m.Cache.HitRatio = float64(hits) / float64(lookups)
 	}

@@ -44,6 +44,22 @@ func (s *stream) append(line []byte, err error) {
 	s.mu.Unlock()
 }
 
+// appendRaw adds one already-encoded, newline-terminated line verbatim —
+// the commit path for event lines a fleet worker produced, preserving
+// byte identity with a local run.
+func (s *stream) appendRaw(line []byte) { s.append(line, nil) }
+
+// addDropped folds drops that happened upstream (a worker's own buffer
+// bound) into the stream's count.
+func (s *stream) addDropped(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.dropped += n
+	s.mu.Unlock()
+}
+
 // Step implements obs.Sink.
 func (s *stream) Step(sample obs.StepSample) { s.append(obs.StepLine(sample)) }
 
