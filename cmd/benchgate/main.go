@@ -4,8 +4,15 @@
 //
 //   - any benchmark named in -zero-alloc reports a nonzero allocs/op in the
 //     current run, or
+//   - any benchmark named in -zero-bytes reports a nonzero B/op in the
+//     current run (the stricter form: sub-one-per-op allocations round to
+//     0 allocs/op but still show up as bytes), or
 //   - any benchmark present in both files regressed its best (minimum)
-//     ns/op by more than -max-regress percent.
+//     ns/op by more than -max-regress percent, or
+//   - the parallel step pipeline stopped scaling: the -scale-w benchmark's
+//     best ns/op exceeds -scale-ratio times the -scale-base benchmark's
+//     (skipped, with a note, when GOMAXPROCS < -scale-min-procs — a
+//     single-core runner cannot demonstrate speedup).
 //
 // With -count > 1 the best iteration is compared, which suppresses
 // scheduling noise: a real regression slows every iteration, while noise
@@ -25,20 +32,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
+
+// stepTorusCells names every (n, w) cell of the StepTorus scaling matrix:
+// the full set is required to run at 0 B/op and 0 allocs/op (the persistent
+// pipeline's steady-state contract at any worker count).
+const stepTorusCells = "BenchmarkStepTorus/n64/w1,BenchmarkStepTorus/n64/w2,BenchmarkStepTorus/n64/w4,BenchmarkStepTorus/n64/w8," +
+	"BenchmarkStepTorus/n256/w1,BenchmarkStepTorus/n256/w2,BenchmarkStepTorus/n256/w4,BenchmarkStepTorus/n256/w8," +
+	"BenchmarkStepTorus/n1024/w1,BenchmarkStepTorus/n1024/w2,BenchmarkStepTorus/n1024/w4,BenchmarkStepTorus/n1024/w8"
 
 // result is the aggregated outcome of one benchmark across -count runs.
 type result struct {
 	name     string
 	bestNs   float64
 	maxAlloc int64
+	maxBytes int64
 	runs     int
 }
 
 // parseBench reads `go test -bench` output, aggregating repeated lines of
-// the same benchmark (from -count) into best ns/op and worst allocs/op.
+// the same benchmark (from -count) into best ns/op and worst allocs/op and
+// B/op.
 func parseBench(path string) (map[string]*result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -56,7 +73,7 @@ func parseBench(path string) (map[string]*result, error) {
 		name := strings.SplitN(fields[0], "-", 2)[0] // strip -GOMAXPROCS suffix
 		r := out[name]
 		if r == nil {
-			r = &result{name: name, bestNs: -1, maxAlloc: -1}
+			r = &result{name: name, bestNs: -1, maxAlloc: -1, maxBytes: -1}
 			out[name] = r
 		}
 		r.runs++
@@ -79,6 +96,14 @@ func parseBench(path string) (map[string]*result, error) {
 				if a > r.maxAlloc {
 					r.maxAlloc = a
 				}
+			case "B/op":
+				bb, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad B/op %q", name, v)
+				}
+				if bb > r.maxBytes {
+					r.maxBytes = bb
+				}
 			}
 		}
 	}
@@ -88,11 +113,32 @@ func parseBench(path string) (map[string]*result, error) {
 	return out, nil
 }
 
+// checkScaling is the scaling-gate comparison: the parallel benchmark's
+// best ns/op must not exceed ratio × the reference benchmark's. The
+// GOMAXPROCS skip is decided by the caller; this sees only the numbers.
+func checkScaling(cur map[string]*result, base, w string, ratio float64) error {
+	b, okB := cur[base]
+	p, okW := cur[w]
+	if !okB || !okW || b.bestNs <= 0 {
+		return fmt.Errorf("scaling gate: %s or %s missing from current run", base, w)
+	}
+	if p.bestNs > b.bestNs*ratio {
+		return fmt.Errorf("scaling gate: %s best %.0f ns/op > %.2f × %s best %.0f ns/op",
+			w, p.bestNs, ratio, base, b.bestNs)
+	}
+	return nil
+}
+
 func main() {
 	baseline := flag.String("baseline", "out/BENCH_BASELINE.txt", "committed baseline `go test -bench` output")
 	current := flag.String("current", "", "current `go test -bench` output (required)")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed ns/op regression, percent")
-	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,BenchmarkStepTorus/n1024/w1", "comma-separated benchmarks required to report 0 allocs/op")
+	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,"+stepTorusCells, "comma-separated benchmarks required to report 0 allocs/op")
+	zeroBytes := flag.String("zero-bytes", stepTorusCells, "comma-separated benchmarks required to report 0 B/op")
+	scaleBase := flag.String("scale-base", "BenchmarkStepTorus/n1024/w1", "scaling-gate reference benchmark")
+	scaleW := flag.String("scale-w", "BenchmarkStepTorus/n1024/w4", "scaling-gate parallel benchmark")
+	scaleRatio := flag.Float64("scale-ratio", 0.75, "max allowed scale-w ns/op as a fraction of scale-base (0 disables)")
+	scaleMinProcs := flag.Int("scale-min-procs", 4, "skip the scaling gate below this GOMAXPROCS")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -124,6 +170,39 @@ func main() {
 			failed = true
 		default:
 			fmt.Printf("ok   %s: 0 allocs/op\n", name)
+		}
+	}
+	for _, name := range strings.Split(*zeroBytes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := cur[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "FAIL %s: required zero-bytes benchmark missing from current run\n", name)
+			failed = true
+		case r.maxBytes != 0:
+			fmt.Fprintf(os.Stderr, "FAIL %s: %d B/op, want 0\n", name, r.maxBytes)
+			failed = true
+		default:
+			fmt.Printf("ok   %s: 0 B/op\n", name)
+		}
+	}
+	if *scaleRatio > 0 {
+		switch {
+		case runtime.GOMAXPROCS(0) < *scaleMinProcs:
+			fmt.Printf("skip scaling gate: GOMAXPROCS=%d < %d (cannot demonstrate parallel speedup)\n",
+				runtime.GOMAXPROCS(0), *scaleMinProcs)
+		default:
+			if err := checkScaling(cur, *scaleBase, *scaleW, *scaleRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+				failed = true
+			} else {
+				b, w := cur[*scaleBase], cur[*scaleW]
+				fmt.Printf("ok   scaling gate: %s best %.0f ns/op ≤ %.2f × %s best %.0f ns/op (ratio %.2f)\n",
+					*scaleW, w.bestNs, *scaleRatio, *scaleBase, b.bestNs, w.bestNs/b.bestNs)
+			}
 		}
 	}
 	for name, b := range base {

@@ -4,12 +4,13 @@
 // n×workers on the torus, n ∈ {64, 256, 1024}, workers ∈ {1, 2, 4, 8})
 // and writes the measurements as machine-readable JSON — the repo's perf
 // trajectory file. Each cell reports wall time, engine steps, ns/step,
-// makespan, peak queue occupancy, and allocation counts; the schema is
-// documented in docs/OBSERVABILITY.md.
+// makespan, peak queue occupancy, and allocation counts; S cells with
+// workers > 1 additionally report speedup_vs_w1 against the same-size w1
+// cell. The schema is documented in docs/OBSERVABILITY.md.
 //
 // Usage:
 //
-//	benchjson                       # writes out/BENCH_PR6.json
+//	benchjson                       # writes out/BENCH_PR8.json
 //	benchjson -out my.json -label x # custom output path and label
 //	benchjson -workers 4            # parallel cells (wall/alloc numbers noisy)
 //
@@ -71,6 +72,11 @@ type CellResult struct {
 	// AllocBytes is the number of bytes allocated during the cell
 	// (exact only with -workers 1).
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// SpeedupVsW1 is, for scaling-matrix cells with workers > 1, the
+	// same-size w1 cell's NSPerStep divided by this cell's — the parallel
+	// pipeline's measured speedup. Omitted elsewhere. Meaningful only when
+	// GOMAXPROCS covers the worker count.
+	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
 }
 
 // Output is the top-level BENCH json document.
@@ -342,9 +348,38 @@ func scaleCells() []cell {
 	return cs
 }
 
+// fillSpeedups sets SpeedupVsW1 on every scaling-matrix cell with
+// workers > 1: the same-size w1 cell's ns/step divided by the cell's own.
+// Runs as a post-pass because cells may execute in any order under
+// -workers > 1.
+func fillSpeedups(results []CellResult) {
+	w1 := map[string]float64{} // "S<n>" → w1 ns/step
+	for _, r := range results {
+		if n, w, ok := parseScaleID(r.ID); ok && w == 1 {
+			w1[n] = r.NSPerStep
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if n, w, ok := parseScaleID(r.ID); ok && w > 1 && w1[n] > 0 && r.NSPerStep > 0 {
+			r.SpeedupVsW1 = w1[n] / r.NSPerStep
+		}
+	}
+}
+
+// parseScaleID splits a scaling-matrix cell ID "S<n>w<workers>" into its
+// size key ("S<n>") and worker count; ok is false for E-cells.
+func parseScaleID(id string) (sizeKey string, workers int, ok bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "S%dw%d", &n, &workers); err != nil || id[0] != 'S' {
+		return "", 0, false
+	}
+	return fmt.Sprintf("S%d", n), workers, true
+}
+
 func main() {
-	out := flag.String("out", filepath.Join("out", "BENCH_PR6.json"), "output path for the BENCH json")
-	label := flag.String("label", "PR6", "label recorded in the output")
+	out := flag.String("out", filepath.Join("out", "BENCH_PR8.json"), "output path for the BENCH json")
+	label := flag.String("label", "PR8", "label recorded in the output")
 	workers := flag.Int("workers", 1, "cell-level parallelism (timings and alloc counts are exact only at 1)")
 	flag.Parse()
 
@@ -378,6 +413,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fillSpeedups(results)
 
 	doc := Output{Schema: Schema, Label: *label, Go: runtime.Version(), Workers: *workers, Cells: results}
 	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseScaleID(t *testing.T) {
+	for _, tc := range []struct {
+		id  string
+		key string
+		w   int
+		ok  bool
+	}{
+		{"S64w1", "S64", 1, true},
+		{"S1024w8", "S1024", 8, true},
+		{"E1", "", 0, false},
+		{"E12", "", 0, false},
+	} {
+		key, w, ok := parseScaleID(tc.id)
+		if key != tc.key || w != tc.w || ok != tc.ok {
+			t.Errorf("parseScaleID(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.id, key, w, ok, tc.key, tc.w, tc.ok)
+		}
+	}
+}
+
+func TestFillSpeedups(t *testing.T) {
+	rs := []CellResult{
+		{ID: "E5", NSPerStep: 100},
+		{ID: "S64w1", NSPerStep: 1000},
+		{ID: "S64w4", NSPerStep: 400},
+		{ID: "S256w1", NSPerStep: 2000},
+		{ID: "S256w2", NSPerStep: 0}, // degenerate: no steps ran
+	}
+	fillSpeedups(rs)
+	if rs[0].SpeedupVsW1 != 0 {
+		t.Errorf("E-cell gained a speedup: %v", rs[0].SpeedupVsW1)
+	}
+	if rs[1].SpeedupVsW1 != 0 {
+		t.Errorf("w1 cell gained a speedup: %v", rs[1].SpeedupVsW1)
+	}
+	if rs[2].SpeedupVsW1 != 2.5 {
+		t.Errorf("S64w4 speedup = %v, want 1000/400 = 2.5", rs[2].SpeedupVsW1)
+	}
+	if rs[4].SpeedupVsW1 != 0 {
+		t.Errorf("zero ns/step cell gained a speedup: %v", rs[4].SpeedupVsW1)
+	}
+}

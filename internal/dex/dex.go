@@ -221,7 +221,9 @@ func (a *Adapter) Update(net *sim.Network, n *sim.Node) {
 // CloneForWorker implements sim.ParallelCloner: each worker gets a fresh
 // adapter (private ctx and view buffers) around the same policy. This is
 // safe exactly when the policy itself is node-local, which the dex model
-// requires of Schedule and Update.
+// requires of Schedule and Update (per scheduling node) and of Accept
+// (per target node — clones drive Accept on disjoint target shards in
+// the pipeline's dispatch phase).
 func (a *Adapter) CloneForWorker() sim.Algorithm { return NewAdapter(a.P) }
 
 var (

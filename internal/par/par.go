@@ -16,11 +16,19 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Map runs fn(i) for i in [0, n) on a bounded worker pool and returns the
-// results in input order. The first error wins; remaining work still runs
-// to completion (cells are cheap and independent).
+// results in input order. The first error (lowest index) wins; remaining
+// work still runs to completion (cells are cheap and independent).
+//
+// Workers claim indices from a shared atomic counter in small contiguous
+// chunks, so dispatch is one atomic add per chunk rather than a
+// channel rendezvous per item — short cells no longer serialize on a
+// single dispatcher goroutine. Chunks are small enough (at most 1/8 of a
+// worker's even share) that an unlucky run of slow cells in one chunk
+// cannot idle the other workers for long.
 func Map[T any](n int, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,23 +36,36 @@ func Map[T any](n int, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	if n <= 0 {
+		return nil, nil
+	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				out[i], errs[i] = fn(i)
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					out[i], errs[i] = fn(i)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -56,6 +56,52 @@ func TestMapZeroAndOneWorkers(t *testing.T) {
 	}
 }
 
+// TestMapShortCellThroughput is throughput-shaped: a large number of
+// near-zero-cost cells, the case the chunked dispatcher exists for (an
+// unbuffered channel would pay a rendezvous per cell and serialize on the
+// dispatcher). It pins correctness under that load — every index runs
+// exactly once and results land in input order — across worker counts
+// around and above GOMAXPROCS.
+func TestMapShortCellThroughput(t *testing.T) {
+	const n = 100_000
+	ran := make([]atomic.Int32, n)
+	for _, workers := range []int{1, 2, 8, 32} {
+		for i := range ran {
+			ran[i].Store(0)
+		}
+		out, err := Map(n, workers, func(i int) (int, error) {
+			ran[i].Add(1)
+			return i ^ 0x5a, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i^0x5a {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+			if c := ran[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// BenchmarkMapShortCells measures dispatch overhead per near-empty cell.
+func BenchmarkMapShortCells(b *testing.B) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Map(4096, 8, func(i int) (int, error) {
+			sink.Add(int64(i))
+			return i, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestQuickMapMatchesSequential(t *testing.T) {
 	f := func(nRaw, wRaw uint8) bool {
 		n := int(nRaw)%60 + 1

@@ -128,7 +128,7 @@ func torusTransposeNet(n, workers int) *Network {
 // the steady state the 0-alloc gate pins.
 func warmTorusTransposeNet(tb testing.TB, n, workers int) *Network {
 	net := torusTransposeNet(n, workers)
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 12; i++ {
 		if err := net.StepOnce(greedyXY{}); err != nil {
 			tb.Fatal(err)
 		}
@@ -138,10 +138,15 @@ func warmTorusTransposeNet(tb testing.TB, n, workers int) *Network {
 
 // BenchmarkStepTorus is the n×workers scaling matrix: one fully loaded
 // torus step at side lengths 64, 256 and 1024 (4K, 65K and 1M packets),
-// serial (w1) and with 2/4/8 engine workers. The w1 cells double as the
-// struct-of-arrays zero-alloc guard: a serial steady-state step must not
-// allocate at any size (benchgate gates n1024/w1 at 0 allocs/op).
+// serial (w1) and with 2/4/8 pipeline workers. Every cell is a zero-alloc
+// guard: a steady-state step must not allocate at any size or worker
+// count (benchgate gates all 12 cells at 0 allocs/op and 0 B/op). The
+// w > 1 cells also report a speedup metric — the same-n w1 cell's ns/op
+// divided by theirs — so scaling regressions are visible in the raw bench
+// output (benchgate additionally gates the n1024 w4:w1 ratio on multicore
+// machines).
 func BenchmarkStepTorus(b *testing.B) {
+	w1ns := map[int]float64{}
 	for _, n := range []int{64, 256, 1024} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			n, workers := n, workers
@@ -160,6 +165,12 @@ func BenchmarkStepTorus(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(n*n), "packets")
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if workers == 1 {
+					w1ns[n] = nsPerOp // last (longest) run wins
+				} else if base := w1ns[n]; base > 0 && nsPerOp > 0 {
+					b.ReportMetric(base/nsPerOp, "speedup")
+				}
 			})
 		}
 	}

@@ -47,23 +47,34 @@ func (m *Metrics) noteDelivered(injectStep, step int) {
 	}
 }
 
-func (m *Metrics) noteStep(net *Network, step int) {
-	for _, id := range net.occ {
-		node := &net.nodes[id]
-		if node.qLen == 0 {
-			continue
+// noteDeliveredBatch folds a whole step's deliveries into the metrics at
+// once: the part (d) apply (serial or per-worker shard) counts deliveries
+// and sums their delays locally, and the engine commits the batch here.
+// Equivalent to count noteDelivered calls with this step number.
+func (m *Metrics) noteDeliveredBatch(step, count, sumDelay int) {
+	if count == 0 {
+		return
+	}
+	if step > m.Makespan {
+		m.Makespan = step
+	}
+	m.SumDelay += sumDelay
+	if m.recordHistory {
+		for len(m.DeliveredAtStep) <= step {
+			m.DeliveredAtStep = append(m.DeliveredAtStep, 0)
 		}
-		if node.Len() > m.MaxNodeLoad {
-			m.MaxNodeLoad = node.Len()
-		}
-		for tag := uint8(0); tag < numTags; tag++ {
-			if tag == OriginTag && net.Queues == PerInlinkQueues {
-				continue
-			}
-			if int(node.counts[tag]) > m.MaxQueueLen {
-				m.MaxQueueLen = int(node.counts[tag])
-			}
-		}
+		m.DeliveredAtStep[step] += count
+	}
+}
+
+// noteOccupancy folds one end-of-step occupancy maxima observation (from
+// the part (e) scan, per shard when parallel) into the run maxima.
+func (m *Metrics) noteOccupancy(maxQueue, maxNodeLoad int) {
+	if maxQueue > m.MaxQueueLen {
+		m.MaxQueueLen = maxQueue
+	}
+	if maxNodeLoad > m.MaxNodeLoad {
+		m.MaxNodeLoad = maxNodeLoad
 	}
 }
 

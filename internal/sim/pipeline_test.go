@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestParallelSteadyStateStepAllocs pins the pipeline's zero-allocation
+// contract at w > 1: after warmup, a parallel step with a nil sink and no
+// injections must not allocate — the persistent pool's barrier is channel
+// operations only, and every per-worker buffer is reused across steps.
+func TestParallelSteadyStateStepAllocs(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		net := buildReversal(t, 16, 2, workers)
+		alg := greedyXY{}
+		for i := 0; i < 5; i++ { // warm scratch + worker buffers
+			if err := net.StepOnce(alg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			if err := net.StepOnce(alg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Fatalf("workers=%d: steady-state StepOnce allocates %.1f times per step, want 0", workers, avg)
+		}
+		net.stopPool()
+	}
+}
+
+// TestWorkerPoolReuseStress drives one Network through many short
+// Run/RunPartial cycles — each cycle stops the persistent pool on return
+// and the next respawns it — interleaved with direct StepOnce calls that
+// reuse one pool across steps, and requires the outcome to stay
+// bit-identical to a serial reference. This is the barrier-reuse stress
+// for the pool lifecycle (spawn, many releases, stop, respawn).
+func TestWorkerPoolReuseStress(t *testing.T) {
+	const n, k, horizon, cycles = 10, 2, 80, 60
+	ref := buildDynamic(t, n, k, horizon, 0)
+	par := buildDynamic(t, n, k, horizon, 8)
+	alg := greedyXY{}
+	for cycle := 0; cycle < cycles && (!ref.Done() || !par.Done()); cycle++ {
+		if cycle%3 == 2 {
+			// Direct steps: the pool persists across these.
+			for i := 0; i < 2 && !par.Done(); i++ {
+				if err := par.StepOnce(alg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 2 && !ref.Done(); i++ {
+				if err := ref.StepOnce(alg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		// Short runs: the pool is stopped at the end of each and
+		// respawned by the next parallel step.
+		if _, err := par.RunPartial(alg, 2); err != nil {
+			t.Fatal(err)
+		}
+		if par.pool != nil {
+			t.Fatal("pool still live after RunPartial returned")
+		}
+		if _, err := ref.RunPartial(alg, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rp, pp := ref.Packets(), par.Packets()
+	if len(rp) != len(pp) {
+		t.Fatal("packet counts differ")
+	}
+	for i := range rp {
+		a, b := rp[i], pp[i]
+		if a.DeliverStep != b.DeliverStep || a.Hops != b.Hops || a.At != b.At {
+			t.Fatalf("packet %d diverged after pool reuse stress: serial (deliver=%d hops=%d) vs parallel (deliver=%d hops=%d)",
+				a.ID, a.DeliverStep, a.Hops, b.DeliverStep, b.Hops)
+		}
+	}
+	par.stopPool() // idempotent; the StepOnce branches may have left one live
+	if par.pool != nil {
+		t.Fatal("stopPool left the pool live")
+	}
+}
+
+// TestPoolLifecycle pins the lazy-spawn/stop contract directly: no pool
+// before the first parallel step, a live pool across direct StepOnce
+// calls, no pool after Run returns, and stopPool idempotence.
+func TestPoolLifecycle(t *testing.T) {
+	net := buildReversal(t, 8, 2, 4)
+	alg := greedyXY{}
+	if net.pool != nil {
+		t.Fatal("pool spawned before first step")
+	}
+	if err := net.StepOnce(alg); err != nil {
+		t.Fatal(err)
+	}
+	if net.pool == nil {
+		t.Fatal("no pool after first parallel step")
+	}
+	p := net.pool
+	if err := net.StepOnce(alg); err != nil {
+		t.Fatal(err)
+	}
+	if net.pool != p {
+		t.Fatal("pool not reused across direct StepOnce calls")
+	}
+	if _, err := net.RunPartial(alg, 4); err != nil {
+		t.Fatal(err)
+	}
+	if net.pool != nil {
+		t.Fatal("pool still live after RunPartial")
+	}
+	net.stopPool()
+	net.stopPool() // idempotent on a stopped pool
+}

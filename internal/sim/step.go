@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sync"
 
 	"meshroute/internal/grid"
 	"meshroute/internal/obs"
@@ -39,6 +38,10 @@ func (net *Network) RunPartialContext(ctx context.Context, alg Algorithm, maxSte
 }
 
 func (net *Network) run(ctx context.Context, alg Algorithm, maxSteps int, allowPartial bool) (int, error) {
+	// Stop the persistent worker pool (if one was spawned) when this run
+	// returns, so no goroutines outlive a Run call; the pool respawns
+	// lazily if the network is stepped or run again.
+	defer net.stopPool()
 	start := net.step
 	if net.lastProgress < start {
 		net.lastProgress = start
@@ -91,10 +94,12 @@ type arrival struct {
 
 // StepOnce executes one synchronous step: outqueue scheduling, adversary
 // exchanges, inqueue acceptance, transmission, and state update. At steady
-// state (no injections, nil sink) it performs zero heap allocations: every
-// per-step buffer lives in stepScratch and is reused across steps, and the
-// index-based queue slots never grow once a node's region has reached its
-// peak occupancy.
+// state (no injections, nil sink) it performs zero heap allocations — at
+// any worker count: every per-step buffer lives in stepScratch or a
+// worker's workerScratch and is reused across steps, the persistent
+// worker pool (pipeline.go) is released through reusable channel
+// barriers, and the index-based queue slots never grow once a node's
+// region has reached its peak occupancy.
 func (net *Network) StepOnce(alg Algorithm) error {
 	if !net.inited {
 		net.compactOcc()
@@ -119,9 +124,10 @@ func (net *Network) StepOnce(alg Algorithm) error {
 
 	// Part (a): outqueue policies schedule packets. Stalled nodes are
 	// frozen: they schedule nothing (and below, accept nothing). With
-	// Workers > 1 and a ParallelCloner algorithm, contiguous shards of the
-	// occupied list are scheduled concurrently and merged in shard order,
-	// which reproduces the serial move order exactly.
+	// Workers > 1 and a ParallelCloner algorithm, the persistent pool
+	// schedules contiguous shards of the occupied list concurrently and
+	// the per-worker move buffers are merged in shard order, which
+	// reproduces the serial move order exactly.
 	var (
 		moves []Move
 		drops int
@@ -131,26 +137,19 @@ func (net *Network) StepOnce(alg Algorithm) error {
 	if clones == nil {
 		moves, drops, err = net.scheduleNodes(alg, net.occ, s.moves[:0])
 	} else {
-		w := len(clones)
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			lo, hi := i*len(net.occ)/w, (i+1)*len(net.occ)/w
-			i, shard := i, net.occ[lo:hi]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				net.wmoves[i], net.wdrops[i], net.werrs[i] =
-					net.scheduleNodes(clones[i], shard, net.wmoves[i][:0])
-			}()
-		}
-		wg.Wait()
+		resident := net.total - net.delivered - net.backlogTotal - net.pendingTotal
+		balanceBounds(s.occBounds, len(net.occ), resident, len(clones), func(i int) int {
+			return int(net.nodes[net.occ[i]].qLen)
+		})
+		net.pool.run(net, phaseSchedule)
 		moves = s.moves[:0]
-		for i := 0; i < w; i++ {
+		for i := range net.ws {
+			ws := &net.ws[i]
 			if err == nil {
-				err = net.werrs[i]
+				err = ws.err
 			}
-			moves = append(moves, net.wmoves[i]...)
-			drops += net.wdrops[i]
+			moves = append(moves, ws.moves...)
+			drops += ws.drops
 		}
 	}
 	net.Metrics.FaultDrops += drops
@@ -232,83 +231,60 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		offers[s.offStart[m.To]] = Offer{P: m.P, From: m.From, Travel: m.Travel}
 		s.offStart[m.To]++
 	}
-	for _, to := range targets {
-		cnt := int(s.offCount[to])
-		start := int(s.offStart[to]) - cnt // pass 2 advanced offStart past the region
-		offs := offers[start : start+cnt]
-		if cap(s.accept) < cnt {
-			s.accept = make([]bool, cnt)
-		}
-		acc := s.accept[:cnt]
-		for i := range acc {
-			acc[i] = false
-		}
-		alg.Accept(net, &net.nodes[to], offs, acc)
-		for i, ok := range acc {
-			if ok {
-				arrivals = append(arrivals, arrival{p: offs[i].P, to: to, dir: offs[i].Travel})
-			}
+	// Accept dispatch: each target's inqueue policy sees its contiguous
+	// offer region. With workers, the target list is sharded across the
+	// pool (inqueue policies are target-node-local per the ParallelCloner
+	// contract) and the per-worker arrival buffers are merged in shard
+	// order — the serial arrival order, target by target.
+	s.nDeliv = len(arrivals)
+	if clones == nil {
+		arrivals = net.acceptTargets(alg, targets, &s.accept, arrivals)
+	} else {
+		s.arrivals = arrivals
+		balanceBounds(s.tgtBounds, len(targets), nOffers, len(clones), func(i int) int {
+			return int(s.offCount[targets[i]])
+		})
+		net.pool.run(net, phaseAccept)
+		for i := range net.ws {
+			arrivals = append(arrivals, net.ws[i].arrivals...)
 		}
 	}
 	s.arrivals = arrivals
 
-	// Part (d): simultaneous transmission. Remove all movers first, then
-	// insert, so departures free space for arrivals within the step.
-	// Each mover is located at its sender in O(1) via its engine-maintained
-	// slot index, and each sender's queue region is compacted once,
-	// preserving FIFO order of the packets that stay.
-	senders := s.senders[:0]
-	for _, a := range arrivals {
-		p := a.p
-		src, ok := net.Topo.Neighbor(a.to, a.dir.Opposite())
-		if !ok || st.At[p] != src {
-			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
-		}
-		node := &net.nodes[src]
-		if uint32(st.slot[p]) >= node.qLen || net.slots[node.qStart+uint32(st.slot[p])] != p {
-			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
-		}
-		st.departing[p] = true
-		if s.sendMark[src] != s.stamp {
-			s.sendMark[src] = s.stamp
-			senders = append(senders, src)
-		}
+	// Part (d): simultaneous transmission, as two owner-computes halves.
+	// First every mover is located at its sender in O(1) via its
+	// engine-maintained slot index and marked departing (markDepartures,
+	// serial — it also deduplicates the sender list). Then each distinct
+	// sender's queue region is compacted once, order-preserving
+	// (sender-owner; P3 when parallel), and finally the arrivals are
+	// applied — deliveries and attaches (target-owner; P4 when parallel,
+	// with queue regions pre-grown in between so attach never touches the
+	// shared arena). Removal strictly precedes insertion, so departures
+	// free space for arrivals within the step.
+	if err := net.markDepartures(arrivals); err != nil {
+		return err
 	}
-	s.senders = senders
-	for _, id := range senders {
-		node := &net.nodes[id]
-		q := net.slots[node.qStart : node.qStart+node.qLen]
-		w := uint32(0)
-		for _, p := range q {
-			if st.departing[p] {
-				node.counts[st.QTag[p]]--
-				continue
-			}
-			st.slot[p] = int32(w)
-			q[w] = p
-			w++
+	if clones == nil {
+		net.compactSenders(s.senders)
+		d, sd, h := net.applyArrivals(arrivals, &net.occ)
+		net.delivered += d
+		net.Metrics.TotalHops += h
+		net.Metrics.noteDeliveredBatch(t, d, sd)
+	} else {
+		net.pool.run(net, phaseCompact)
+		net.growForArrivals()
+		net.pool.run(net, phaseApply)
+		var d, sd, h int
+		for i := range net.ws {
+			ws := &net.ws[i]
+			d += ws.delivered
+			sd += ws.sumDelay
+			h += ws.hops
+			net.occ = append(net.occ, ws.newOcc...)
 		}
-		node.qLen = w
-	}
-	for _, a := range arrivals {
-		p := a.p
-		st.departing[p] = false
-		st.Hops[p]++
-		net.Metrics.TotalHops++
-		st.Arrived[p] = a.dir
-		st.ArrivedStep[p] = int32(t)
-		if a.to == st.Dst[p] {
-			st.At[p] = a.to
-			st.DeliverStep[p] = int32(t)
-			net.delivered++
-			net.Metrics.noteDelivered(int(st.InjectStep[p]), t)
-			continue
-		}
-		tag := uint8(0)
-		if net.Queues == PerInlinkQueues {
-			tag = uint8(a.dir.Opposite())
-		}
-		net.attach(&net.nodes[a.to], p, tag)
+		net.delivered += d
+		net.Metrics.TotalHops += h
+		net.Metrics.noteDeliveredBatch(t, d, sd)
 	}
 
 	// Runtime invariant checker: queue capacity, count consistency and
@@ -320,42 +296,26 @@ func (net *Network) StepOnce(alg Algorithm) error {
 		}
 	}
 
-	// Part (e): state updates on every node that held packets this step.
-	// Stalled nodes stay frozen: their state must not advance. Updates are
-	// node-local for ParallelCloner algorithms, so sharding them changes no
-	// observable state relative to the serial loop.
+	// Part (e): state updates on every node that held packets this step,
+	// fused with the end-of-step queue-occupancy maxima scan (the update
+	// does not change queue contents, so fusing is invisible). Stalled
+	// nodes stay frozen: their state must not advance. Updates are
+	// node-local for ParallelCloner algorithms, so sharding them changes
+	// no observable state relative to the serial loop; the maxima merge
+	// under max, which is order-insensitive.
 	if clones == nil {
-		for _, id := range net.occ {
-			if net.hasFaults && net.stalledCnt[id] > 0 {
-				continue
-			}
-			alg.Update(net, &net.nodes[id])
-		}
+		mq, ml := net.updateNodes(alg, net.occ)
+		net.Metrics.noteOccupancy(mq, ml)
 	} else {
-		w := len(clones)
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			lo, hi := i*len(net.occ)/w, (i+1)*len(net.occ)/w
-			c, shard := clones[i], net.occ[lo:hi]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for _, id := range shard {
-					if net.hasFaults && net.stalledCnt[id] > 0 {
-						continue
-					}
-					c.Update(net, &net.nodes[id])
-				}
-			}()
+		net.pool.run(net, phaseUpdate)
+		for i := range net.ws {
+			net.Metrics.noteOccupancy(net.ws[i].maxQueue, net.ws[i].maxNodeLoad)
 		}
-		wg.Wait()
 	}
 
 	if net.delivered > deliveredBefore {
 		net.lastProgress = t
 	}
-
-	net.Metrics.noteStep(net, t)
 
 	if net.sink != nil {
 		net.emitStepSample(t, arrivals, net.delivered-deliveredBefore)
@@ -461,10 +421,162 @@ func (net *Network) scheduleNodes(alg Algorithm, ids []grid.NodeID, dst []Move) 
 	return dst, drops, nil
 }
 
+// acceptTargets runs the part (c) inqueue dispatch for the given targets,
+// appending the accepted offers to dst as arrivals. Each target's offers
+// occupy a contiguous region of the flat offer index built by StepOnce
+// (offStart was advanced past the region by the fill pass, so the region
+// starts at offStart-offCount). It mutates only the given target nodes
+// (through alg.Accept) and dst, so disjoint target shards may run
+// concurrently. acceptBuf is the caller-owned reusable decision buffer.
+func (net *Network) acceptTargets(alg Algorithm, targets []grid.NodeID, acceptBuf *[]bool, dst []arrival) []arrival {
+	s := &net.scratch
+	for _, to := range targets {
+		cnt := int(s.offCount[to])
+		start := int(s.offStart[to]) - cnt // pass 2 advanced offStart past the region
+		offs := s.offers[start : start+cnt]
+		if cap(*acceptBuf) < cnt {
+			*acceptBuf = make([]bool, cnt)
+		}
+		acc := (*acceptBuf)[:cnt]
+		for i := range acc {
+			acc[i] = false
+		}
+		alg.Accept(net, &net.nodes[to], offs, acc)
+		for i, ok := range acc {
+			if ok {
+				dst = append(dst, arrival{p: offs[i].P, to: to, dir: offs[i].Travel})
+			}
+		}
+	}
+	return dst
+}
+
+// markDepartures validates every arrival against its sender's queue, marks
+// the moving packets departing, and rebuilds the deduplicated distinct-
+// sender list in s.senders. Serial: it writes the shared departing column
+// and the sendMark epoch array.
+func (net *Network) markDepartures(arrivals []arrival) error {
+	s := &net.scratch
+	st := &net.P
+	senders := s.senders[:0]
+	for _, a := range arrivals {
+		p := a.p
+		src, ok := net.Topo.Neighbor(a.to, a.dir.Opposite())
+		if !ok || st.At[p] != src {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
+		}
+		node := &net.nodes[src]
+		if uint32(st.slot[p]) >= node.qLen || net.slots[node.qStart+uint32(st.slot[p])] != p {
+			return fmt.Errorf("sim: internal error, packet %d not found at sender", p.ID())
+		}
+		st.departing[p] = true
+		if s.sendMark[src] != s.stamp {
+			s.sendMark[src] = s.stamp
+			senders = append(senders, src)
+		}
+	}
+	s.senders = senders
+	return nil
+}
+
+// compactSenders removes departing packets from each listed sender's queue
+// region, preserving FIFO order of the packets that stay, in one O(qLen)
+// pass per sender. The per-tag count decrement reads the departing packet's
+// old QTag, so compaction must complete before applyArrivals re-tags any
+// packet (the P3 barrier when parallel). Senders are distinct nodes, so
+// disjoint shards of the sender list touch disjoint queue regions.
+func (net *Network) compactSenders(senders []grid.NodeID) {
+	st := &net.P
+	for _, id := range senders {
+		node := &net.nodes[id]
+		q := net.slots[node.qStart : node.qStart+node.qLen]
+		w := uint32(0)
+		for _, p := range q {
+			if st.departing[p] {
+				node.counts[st.QTag[p]]--
+				continue
+			}
+			st.slot[p] = int32(w)
+			q[w] = p
+			w++
+		}
+		node.qLen = w
+	}
+}
+
+// applyArrivals applies the given arrivals — delivering packets that
+// reached their destination and attaching the rest to their new node's
+// queue — returning the delivered count, the summed delivery delay
+// (deliverStep-injectStep, for the metrics batch), and the hop count.
+// Nodes that become occupied are appended to occOut (the shared occ list
+// serially, a worker-private buffer in the parallel apply phase). Arrivals
+// are grouped per target, so disjoint shards of the arrival list touch
+// disjoint target nodes; queue regions must already have capacity for
+// every arrival (pre-grown by growForArrivals when parallel).
+func (net *Network) applyArrivals(arrivals []arrival, occOut *[]grid.NodeID) (delivered, sumDelay, hops int) {
+	st := &net.P
+	t := net.step
+	for _, a := range arrivals {
+		p := a.p
+		st.departing[p] = false
+		st.Hops[p]++
+		hops++
+		st.Arrived[p] = a.dir
+		st.ArrivedStep[p] = int32(t)
+		if a.to == st.Dst[p] {
+			st.At[p] = a.to
+			st.DeliverStep[p] = int32(t)
+			delivered++
+			sumDelay += t - int(st.InjectStep[p])
+			continue
+		}
+		tag := uint8(0)
+		if net.Queues == PerInlinkQueues {
+			tag = uint8(a.dir.Opposite())
+		}
+		net.attachTo(&net.nodes[a.to], p, tag, occOut)
+	}
+	return delivered, sumDelay, hops
+}
+
+// updateNodes runs part (e) for the given occupied nodes — skipping
+// stalled nodes, whose state must stay frozen — fused with the
+// queue-occupancy maxima scan, returning the largest single queue
+// (excluding the unbounded origin buffer) and the largest total node load
+// seen in the shard. Update still runs on nodes that emptied during the
+// step (they held a packet at its start, which is the Update contract);
+// the maxima scan skips them. Updates are node-local for ParallelCloner
+// algorithms and the scan is read-only, so disjoint shards may run
+// concurrently; maxima merge under max, which is order-blind.
+func (net *Network) updateNodes(alg Algorithm, ids []grid.NodeID) (maxQueue, maxNodeLoad int) {
+	for _, id := range ids {
+		node := &net.nodes[id]
+		if node.qLen > 0 {
+			if l := int(node.qLen); l > maxNodeLoad {
+				maxNodeLoad = l
+			}
+			for tag := uint8(0); tag < numTags; tag++ {
+				if tag == OriginTag && net.Queues == PerInlinkQueues {
+					continue
+				}
+				if l := int(node.counts[tag]); l > maxQueue {
+					maxQueue = l
+				}
+			}
+		}
+		if net.hasFaults && net.stalledCnt[id] > 0 {
+			continue
+		}
+		alg.Update(net, node)
+	}
+	return maxQueue, maxNodeLoad
+}
+
 // workerClones returns the per-worker algorithm clones for the configured
 // worker count, or nil when the step must run serially (Workers <= 1, or the
-// algorithm does not implement ParallelCloner). Clones are cached across
-// steps, keyed by the algorithm's name.
+// algorithm does not implement ParallelCloner). Clones and the per-worker
+// scratch are cached across steps, keyed by the algorithm's name, and the
+// persistent worker pool is (re)spawned here if a previous Run stopped it.
 func (net *Network) workerClones(alg Algorithm) []Algorithm {
 	w := net.cfg.Workers
 	if w <= 1 {
@@ -480,10 +592,16 @@ func (net *Network) workerClones(alg Algorithm) []Algorithm {
 			net.parClones = append(net.parClones, pc.CloneForWorker())
 		}
 		net.parName = alg.Name()
-		net.wmoves = make([][]Move, w)
-		net.wdrops = make([]int, w)
-		net.werrs = make([]error, w)
+		net.ws = make([]workerScratch, w)
+		for i := range net.ws {
+			// A target's offers number at most one per inlink, so the
+			// per-worker Accept decision buffer never needs more.
+			net.ws[i].accept = make([]bool, grid.NumDirs)
+		}
+		net.scratch.occBounds = make([]int, w+1)
+		net.scratch.tgtBounds = make([]int, w+1)
 	}
+	net.ensurePool()
 	return net.parClones
 }
 
