@@ -20,7 +20,7 @@
 //
 // Usage:
 //
-//	go test ./internal/sim -bench 'StepDense|StepSparse|StepTorus' -benchmem -count 5 -run '^$' -timeout 60m > current.txt
+//	go test ./internal/sim -bench 'StepDense|StepSparse|StepTorus|StepOnline' -benchmem -count 5 -run '^$' -timeout 60m > current.txt
 //	go run ./cmd/benchgate -baseline out/BENCH_BASELINE.txt -current current.txt
 //
 // Regenerate the baseline (after an intended perf change, on the same
@@ -43,6 +43,12 @@ import (
 const stepTorusCells = "BenchmarkStepTorus/n64/w1,BenchmarkStepTorus/n64/w2,BenchmarkStepTorus/n64/w4,BenchmarkStepTorus/n64/w8," +
 	"BenchmarkStepTorus/n256/w1,BenchmarkStepTorus/n256/w2,BenchmarkStepTorus/n256/w4,BenchmarkStepTorus/n256/w8," +
 	"BenchmarkStepTorus/n1024/w1,BenchmarkStepTorus/n1024/w2,BenchmarkStepTorus/n1024/w4,BenchmarkStepTorus/n1024/w8"
+
+// stepOnlineCells names every worker cell of the StepOnline streaming-
+// injection matrix: the per-step admission phase (source pull, bounded-
+// buffer admission, backlog drain) must also hold the zero-alloc contract
+// at every worker count.
+const stepOnlineCells = "BenchmarkStepOnline/n64/w1,BenchmarkStepOnline/n64/w2,BenchmarkStepOnline/n64/w4,BenchmarkStepOnline/n64/w8"
 
 // result is the aggregated outcome of one benchmark across -count runs.
 type result struct {
@@ -133,8 +139,8 @@ func main() {
 	baseline := flag.String("baseline", "out/BENCH_BASELINE.txt", "committed baseline `go test -bench` output")
 	current := flag.String("current", "", "current `go test -bench` output (required)")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed ns/op regression, percent")
-	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,"+stepTorusCells, "comma-separated benchmarks required to report 0 allocs/op")
-	zeroBytes := flag.String("zero-bytes", stepTorusCells, "comma-separated benchmarks required to report 0 B/op")
+	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,"+stepTorusCells+","+stepOnlineCells, "comma-separated benchmarks required to report 0 allocs/op")
+	zeroBytes := flag.String("zero-bytes", stepTorusCells+","+stepOnlineCells, "comma-separated benchmarks required to report 0 B/op")
 	scaleBase := flag.String("scale-base", "BenchmarkStepTorus/n1024/w1", "scaling-gate reference benchmark")
 	scaleW := flag.String("scale-w", "BenchmarkStepTorus/n1024/w4", "scaling-gate parallel benchmark")
 	scaleRatio := flag.Float64("scale-ratio", 0.75, "max allowed scale-w ns/op as a fraction of scale-base (0 disables)")

@@ -2,8 +2,10 @@
 // reproduction (E1–E14, the same shapes as the root bench_test.go
 // benchmarks, at quick sizes) plus the engine scaling matrix (S cells:
 // n×workers on the torus, n ∈ {64, 256, 1024}, workers ∈ {1, 2, 4, 8})
-// and writes the measurements as machine-readable JSON — the repo's perf
-// trajectory file. Each cell reports wall time, engine steps, ns/step,
+// and the online streaming-injection cells (O cells: bounded-buffer
+// admission under drop and retry policies, reporting throughput and
+// refusal rate) and writes the measurements as machine-readable JSON —
+// the repo's perf trajectory file. Each cell reports wall time, engine steps, ns/step,
 // makespan, peak queue occupancy, and allocation counts; S cells with
 // workers > 1 additionally report speedup_vs_w1 against the same-size w1
 // cell. The schema is documented in docs/OBSERVABILITY.md.
@@ -77,6 +79,13 @@ type CellResult struct {
 	// pipeline's measured speedup. Omitted elsewhere. Meaningful only when
 	// GOMAXPROCS covers the worker count.
 	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
+	// Throughput is, for online (O) cells, delivered packets per step over
+	// the run. Omitted elsewhere.
+	Throughput float64 `json:"throughput,omitempty"`
+	// RefusalRate is, for online (O) cells, refused / (admitted + refused)
+	// over the run — the bounded-buffer admission pressure. Omitted
+	// elsewhere (and when the queues never filled).
+	RefusalRate float64 `json:"refusal_rate,omitempty"`
 }
 
 // Output is the top-level BENCH json document.
@@ -90,16 +99,18 @@ type Output struct {
 	// Workers is the cell-level parallelism the run used (timings are
 	// exact only at 1).
 	Workers int `json:"workers"`
-	// Cells holds one entry per cell: E1..E14 in order, then the
-	// S<n>w<workers> scaling matrix.
+	// Cells holds one entry per cell: E1..E14 in order, then the online
+	// admission cells (O*), then the S<n>w<workers> scaling matrix.
 	Cells []CellResult `json:"cells"`
 }
 
 // stats is what a cell's body reports back to the measurement driver.
 type stats struct {
-	steps     int
-	makespan  int
-	peakQueue int
+	steps       int
+	makespan    int
+	peakQueue   int
+	throughput  float64
+	refusalRate float64
 }
 
 type cell struct {
@@ -127,7 +138,37 @@ func specCell(s *scenario.Spec, requireDone bool) (stats, error) {
 	if requireDone && !res.Stats.Done {
 		return stats{}, fmt.Errorf("incomplete after %d steps", res.Steps)
 	}
-	return stats{steps: res.Steps, makespan: res.Stats.Makespan, peakQueue: res.Stats.MaxQueue}, nil
+	st := stats{steps: res.Steps, makespan: res.Stats.Makespan, peakQueue: res.Stats.MaxQueue}
+	if res.Stats.Online {
+		st.throughput = res.Stats.Throughput
+		st.refusalRate = res.Stats.RefusalRate()
+	}
+	return st, nil
+}
+
+// onlineCells measures the streaming-injection path end to end: the same
+// shape as the committed online golden scenario (bernoulli arrivals on
+// n=64, k=4, dimorder) under each admission policy. These are the cells
+// that carry the throughput and refusal_rate schema fields.
+func onlineCells() []cell {
+	var cs []cell
+	for _, adm := range []string{scenario.AdmissionDrop, scenario.AdmissionRetry} {
+		adm := adm
+		cs = append(cs, cell{
+			id:   "O" + adm[:1],
+			name: "online-bernoulli-n64-k4-" + adm,
+			run: func() (stats, error) {
+				return specCell(&scenario.Spec{
+					N: 64, K: 4, Router: "dimorder",
+					Workload: scenario.Workload{
+						Kind: scenario.KindOnline, Seed: 11, Horizon: 200,
+						Rate: 0.08, Process: scenario.ProcessBernoulli, Admission: adm,
+					},
+				}, false)
+			},
+		})
+	}
+	return cs
 }
 
 func cells() []cell {
@@ -383,7 +424,7 @@ func main() {
 	workers := flag.Int("workers", 1, "cell-level parallelism (timings and alloc counts are exact only at 1)")
 	flag.Parse()
 
-	cs := append(cells(), scaleCells()...)
+	cs := append(append(cells(), onlineCells()...), scaleCells()...)
 	results := make([]CellResult, len(cs))
 	_, err := par.Map(len(cs), *workers, func(i int) (struct{}, error) {
 		c := cs[i]
@@ -405,6 +446,7 @@ func main() {
 			Steps: st.steps, WallNS: wall.Nanoseconds(), NSPerStep: nsPerStep,
 			Makespan: st.makespan, PeakQueue: st.peakQueue,
 			Allocs: after.Mallocs - before.Mallocs, AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Throughput: st.throughput, RefusalRate: st.refusalRate,
 		}
 		fmt.Fprintf(os.Stderr, "%-4s %-48s %8d steps %10.0f ns/step  makespan %6d  peakQ %4d\n",
 			c.id, c.name, st.steps, nsPerStep, st.makespan, st.peakQueue)

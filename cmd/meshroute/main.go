@@ -247,6 +247,9 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 	}
 	if o.dumpScenario {
+		// Materialize the online kind's defaulted knobs so the dumped spec
+		// spells out exactly what would run.
+		spec.Workload.ApplyOnlineDefaults()
 		if err := spec.Write(os.Stdout); err != nil {
 			return err
 		}
@@ -391,5 +394,11 @@ func printStats(router string, n, k int, st meshroute.RouteStats) {
 	fmt.Printf("  max queue: %d, avg delay: %.1f\n", st.MaxQueue, st.AvgDelay)
 	if st.FaultDrops > 0 {
 		fmt.Printf("  fault drops: %d moves\n", st.FaultDrops)
+	}
+	if st.Online {
+		fmt.Printf("  admission: %d offered, %d admitted, %d refused (rate %.3f), %d dropped\n",
+			st.Offered, st.Admitted, st.Refused, st.RefusalRate(), st.Dropped)
+		fmt.Printf("  throughput: %.3f delivered/step, delay p50/p95/p99: %.0f/%.0f/%.0f\n",
+			st.Throughput, st.DelayP50, st.DelayP95, st.DelayP99)
 	}
 }

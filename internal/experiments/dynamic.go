@@ -34,13 +34,16 @@ func E12(opts Options) (*Report, error) {
 		ID: "E12",
 		Title: fmt.Sprintf("Dynamic routing: Theorem 15 router under Bernoulli injection (n=%d, k=2, %d steps)",
 			n, horizon),
-		Table: stats.NewTable("load λ·n/4", "rate λ", "injected", "delivered", "avg latency", "p. in flight @end"),
+		Table: stats.NewTable("load λ·n/4", "rate λ", "offered", "delivered", "avg latency", "p95 delay", "thru/step", "refusal rate", "p. in flight @end"),
 	}
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
 		lambda := frac * 4 / float64(n)
 		res, err := opts.runSpec(&scenario.Spec{
 			N: n, K: 2, Router: meshroute.RouterThm15,
-			Workload: scenario.Workload{Kind: scenario.KindBernoulli, Seed: 7, Rate: lambda, Horizon: horizon},
+			Workload: scenario.Workload{
+				Kind: scenario.KindOnline, Seed: 7, Rate: lambda, Horizon: horizon,
+				Process: scenario.ProcessBernoulli, Admission: scenario.AdmissionRetry,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -63,10 +66,14 @@ func E12(opts Options) (*Report, error) {
 			avg = float64(sumLat) / float64(delivered)
 		}
 		inFlight := res.Stats.Total - res.Stats.Delivered
-		rep.Table.AddRow(frac, fmt.Sprintf("%.4f", lambda), res.Stats.Total, res.Stats.Delivered, avg, inFlight)
+		rep.Table.AddRow(frac, fmt.Sprintf("%.4f", lambda), res.Stats.Offered, res.Stats.Delivered, avg,
+			res.Stats.DelayP95, fmt.Sprintf("%.2f", res.Stats.Throughput),
+			fmt.Sprintf("%.3f", res.Stats.RefusalRate()), inFlight)
 	}
 	rep.Notes = append(rep.Notes,
 		"latency is flat well below the bisection knee and grows sharply past it;",
+		"refusal rate stays 0: per-inlink queues have an unbounded origin buffer, so admission pressure",
+		"surfaces as the in-flight blow-up, not as refusals (contrast central-queue online scenarios);",
 		"the Theorem 15 router needs no global synchronization, so it runs unchanged in the dynamic setting —",
 		"the practicality axis the paper's Section 7 asks about")
 	return rep, nil

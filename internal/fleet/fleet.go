@@ -55,6 +55,18 @@ type Stats struct {
 	MaxQueue   int     `json:"max_queue"`
 	AvgDelay   float64 `json:"avg_delay"`
 	FaultDrops int     `json:"fault_drops"`
+
+	// Online-workload admission and throughput statistics; all omitted on
+	// the wire for static runs, so pre-online payloads are byte-stable.
+	Online     bool    `json:"online,omitempty"`
+	Offered    int     `json:"offered,omitempty"`
+	Admitted   int     `json:"admitted,omitempty"`
+	Refused    int     `json:"refused,omitempty"`
+	Dropped    int     `json:"dropped,omitempty"`
+	Throughput float64 `json:"throughput,omitempty"`
+	DelayP50   float64 `json:"delay_p50,omitempty"`
+	DelayP95   float64 `json:"delay_p95,omitempty"`
+	DelayP99   float64 `json:"delay_p99,omitempty"`
 }
 
 // RouteStats converts back to the facade's statistics type.
@@ -68,6 +80,15 @@ func (s Stats) RouteStats() meshroute.RouteStats {
 		MaxQueue:   s.MaxQueue,
 		AvgDelay:   s.AvgDelay,
 		FaultDrops: s.FaultDrops,
+		Online:     s.Online,
+		Offered:    s.Offered,
+		Admitted:   s.Admitted,
+		Refused:    s.Refused,
+		Dropped:    s.Dropped,
+		Throughput: s.Throughput,
+		DelayP50:   s.DelayP50,
+		DelayP95:   s.DelayP95,
+		DelayP99:   s.DelayP99,
 	}
 }
 
@@ -82,6 +103,15 @@ func ToStats(st meshroute.RouteStats) Stats {
 		MaxQueue:   st.MaxQueue,
 		AvgDelay:   st.AvgDelay,
 		FaultDrops: st.FaultDrops,
+		Online:     st.Online,
+		Offered:    st.Offered,
+		Admitted:   st.Admitted,
+		Refused:    st.Refused,
+		Dropped:    st.Dropped,
+		Throughput: st.Throughput,
+		DelayP50:   st.DelayP50,
+		DelayP95:   st.DelayP95,
+		DelayP99:   st.DelayP99,
 	}
 }
 

@@ -12,6 +12,9 @@ type Counters struct {
 	steps     atomic.Int64
 	moves     atomic.Int64
 	delivered atomic.Int64
+	offered   atomic.Int64
+	admitted  atomic.Int64
+	refused   atomic.Int64
 	spans     atomic.Int64
 	events    atomic.Int64
 }
@@ -21,6 +24,15 @@ func (c *Counters) Step(s StepSample) {
 	c.steps.Add(1)
 	c.moves.Add(int64(s.Moves))
 	c.delivered.Add(int64(s.Delivered))
+	if s.Offered != 0 {
+		c.offered.Add(int64(s.Offered))
+	}
+	if s.Admitted != 0 {
+		c.admitted.Add(int64(s.Admitted))
+	}
+	if s.Refused != 0 {
+		c.refused.Add(int64(s.Refused))
+	}
 }
 
 // Span counts one phase span.
@@ -37,6 +49,17 @@ func (c *Counters) Moves() int64 { return c.moves.Load() }
 
 // Delivered returns the total packet deliveries observed.
 func (c *Counters) Delivered() int64 { return c.delivered.Load() }
+
+// Offered returns the total injection offers observed (streamed and
+// scheduled injection; 0 for static one-shot runs).
+func (c *Counters) Offered() int64 { return c.offered.Load() }
+
+// Admitted returns the total injection admissions observed.
+func (c *Counters) Admitted() int64 { return c.admitted.Load() }
+
+// Refused returns the total admission refusals observed (backlogged
+// retries plus dropped offers).
+func (c *Counters) Refused() int64 { return c.refused.Load() }
 
 // Spans returns the number of phase spans observed.
 func (c *Counters) Spans() int64 { return c.spans.Load() }

@@ -93,6 +93,20 @@ type StepSample struct {
 	// QueueHist is the occupancy histogram over all non-empty queues at
 	// the end of the step.
 	QueueHist QueueHist `json:"qh"`
+	// Offered is the number of injection requests presented to this
+	// step's admission phase (streamed or scheduled injections; always 0
+	// for one-shot workloads, so the field is omitted and the static wire
+	// format is unchanged).
+	Offered int `json:"of,omitempty"`
+	// Admitted is the number of offers admitted into a queue (or
+	// delivered in place) this step.
+	Admitted int `json:"ad,omitempty"`
+	// Refused is this step's admission refusals: backlogged retries plus
+	// dropped offers.
+	Refused int `json:"rf,omitempty"`
+	// Backlog is the number of packets waiting in injection backlogs at
+	// the end of the admission phase.
+	Backlog int `json:"bl,omitempty"`
 }
 
 // Span is one named algorithm phase with its measured duration and, where

@@ -60,7 +60,8 @@ func (s *Spec) Fingerprint() (string, error) {
 		}
 		c.CheckInvariants = Bool(rspec.Config(topo, c.K).CheckInvariants)
 	}
-	if c.Workload.Dynamic() {
+	c.Workload.ApplyOnlineDefaults()
+	if c.Workload.Dynamic() && !c.Workload.Drain {
 		c.MaxSteps = 0 // ignored by exact-horizon runs
 	} else if c.MaxSteps == 0 {
 		c.MaxSteps = 200 * (c.N*c.N/c.K + 2*c.N)

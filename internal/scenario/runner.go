@@ -9,6 +9,7 @@ import (
 	"meshroute/internal/obs"
 	"meshroute/internal/par"
 	"meshroute/internal/sim"
+	"meshroute/internal/stats"
 	"meshroute/internal/trace"
 )
 
@@ -132,6 +133,27 @@ func (r *Runner) RunBuilt(ctx context.Context, run *Run) (*Result, error) {
 			AvgDelay:   net.AvgDelay(),
 			FaultDrops: net.Metrics.FaultDrops,
 		},
+	}
+	if net.OpenWorkload() {
+		st := &res.Stats
+		st.Online = true
+		st.Offered = net.Metrics.Offered
+		st.Admitted = net.Metrics.Admitted
+		st.Refused = net.Metrics.Refused
+		st.Dropped = net.Metrics.Dropped
+		if steps > 0 {
+			st.Throughput = float64(st.Delivered) / float64(steps)
+		}
+		// Time-in-system percentiles over delivered packets. Only open
+		// workloads pay for the packet scan; static runs report zeros.
+		delays := make([]float64, 0, st.Delivered)
+		for _, p := range net.Packets() {
+			if p.DeliverStep >= 0 {
+				delays = append(delays, float64(p.DeliverStep-p.InjectStep))
+			}
+		}
+		qs := stats.Quantiles(delays, 0.50, 0.95, 0.99)
+		st.DelayP50, st.DelayP95, st.DelayP99 = qs[0], qs[1], qs[2]
 	}
 
 	if rec != nil {

@@ -28,7 +28,7 @@ func randomSpec(rng *rand.Rand) *Spec {
 	if rng.Intn(2) == 0 {
 		s.Topology = []string{TopoMesh, TopoTorus}[rng.Intn(2)]
 	}
-	switch rng.Intn(6) {
+	switch rng.Intn(7) {
 	case 0:
 		s.Workload = Workload{Kind: KindRandom, Seed: rng.Int63n(1000)}
 	case 1:
@@ -41,6 +41,27 @@ func randomSpec(rng *rand.Rand) *Spec {
 		s.Workload = Workload{Kind: KindBernoulli, Horizon: 10 + rng.Intn(100), Seed: rng.Int63n(1000), Rate: 0.1 + 0.8*rng.Float64()}
 	case 5:
 		s.Workload = Workload{Kind: KindPairs, Pairs: []workload.Pair{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}}
+	case 6:
+		s.Workload = Workload{Kind: KindOnline, Horizon: 10 + rng.Intn(100), Seed: rng.Int63n(1000), Rate: 0.1 + 0.8*rng.Float64()}
+		switch rng.Intn(4) {
+		case 0:
+			s.Workload.Process = ProcessBernoulli
+		case 1:
+			s.Workload.Process = ProcessOnOff
+			s.Workload.Burst = 1 + rng.Intn(8)
+			s.Workload.Gap = 1 + rng.Intn(8)
+		case 2:
+			s.Workload.Process = ProcessHotspot
+			s.Workload.Hotspots = 1 + rng.Intn(3)
+		case 3:
+			s.Workload.Process = ProcessTranspose
+		}
+		if rng.Intn(2) == 0 {
+			s.Workload.Admission = []string{AdmissionRetry, AdmissionDrop}[rng.Intn(2)]
+		}
+		if rng.Intn(2) == 0 {
+			s.Workload.Drain = true
+		}
 	}
 	if s.Router == "rand-zigzag" && rng.Intn(2) == 0 {
 		s.Seed = rng.Uint64()
@@ -123,6 +144,35 @@ func TestValidate(t *testing.T) {
 		{"bernoulli rate zero", func(s *Spec) {
 			s.Workload = Workload{Kind: KindBernoulli, Horizon: 10}
 		}, "workload.rate"},
+		{"online without horizon", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Rate: 0.1}
+		}, "workload.horizon"},
+		{"online rate zero", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10}
+		}, "workload.rate"},
+		{"online rate above 1", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 1.2}
+		}, "workload.rate"},
+		{"online unknown process", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 0.1, Process: "poissonish"}
+		}, "workload.process"},
+		{"online onoff without burst", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 0.1, Process: ProcessOnOff, Gap: 3}
+		}, "workload.burst"},
+		{"online onoff without gap", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 0.1, Process: ProcessOnOff, Burst: 3}
+		}, "workload.gap"},
+		{"online unknown admission", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 0.1, Admission: "bounce"}
+		}, "workload.admission"},
+		{"online hotspots on bernoulli process", func(s *Spec) {
+			s.Workload = Workload{Kind: KindOnline, Horizon: 10, Rate: 0.1, Process: ProcessBernoulli, Hotspots: 2}
+		}, "workload.hotspots"},
+		{"process on static kind", func(s *Spec) { s.Workload.Process = ProcessBernoulli }, "workload.process"},
+		{"admission on static kind", func(s *Spec) { s.Workload.Admission = AdmissionDrop }, "workload.admission"},
+		{"drain on static kind", func(s *Spec) { s.Workload.Drain = true }, "workload.drain"},
+		{"burst knob on static kind", func(s *Spec) { s.Workload.Burst = 2 }, "workload.burst"},
+		{"hotspots on static kind", func(s *Spec) { s.Workload.Hotspots = 1 }, "workload.hotspots"},
 		{"negative watchdog", func(s *Spec) { s.Watchdog = -1 }, "watchdog"},
 		{"negative workers", func(s *Spec) { s.Workers = -2 }, "workers"},
 		{"negative budget", func(s *Spec) { s.MaxSteps = -5 }, "max_steps"},
@@ -187,6 +237,57 @@ func TestBuildAndRun(t *testing.T) {
 	}
 	if res.Stats.MaxQueue > 2 {
 		t.Fatalf("queue bound k=2 violated: MaxQueue=%d", res.Stats.MaxQueue)
+	}
+}
+
+// TestBuildAndRunOnline runs an online scenario end to end and checks the
+// admission and throughput statistics the refactor added: the run executes
+// exactly the horizon (no drain), every offered packet is accounted for as
+// admitted, refused-and-retried, or dropped, and the competitive-throughput
+// numbers are populated.
+func TestBuildAndRunOnline(t *testing.T) {
+	for _, admission := range []string{AdmissionRetry, AdmissionDrop} {
+		t.Run(admission, func(t *testing.T) {
+			s := &Spec{N: 8, K: 2, Router: "dimorder", Workload: Workload{
+				Kind: KindOnline, Horizon: 120, Rate: 0.05, Seed: 3, Admission: admission,
+			}}
+			var r Runner
+			res, err := r.Run(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err != nil {
+				t.Fatalf("run aborted: %v", res.Err)
+			}
+			if res.Steps != 120 {
+				t.Fatalf("online run without drain must execute exactly the horizon, ran %d", res.Steps)
+			}
+			st := res.Stats
+			if !st.Online {
+				t.Fatalf("online run must mark Stats.Online: %+v", st)
+			}
+			if st.Offered <= 0 || st.Admitted <= 0 {
+				t.Fatalf("no admissions recorded: %+v", st)
+			}
+			if st.Total != st.Admitted {
+				t.Fatalf("materialized packets %d != admitted %d", st.Total, st.Admitted)
+			}
+			if admission == AdmissionRetry && st.Dropped != 0 {
+				t.Fatalf("retry policy must never drop, dropped %d", st.Dropped)
+			}
+			if admission == AdmissionDrop && st.Offered != st.Admitted+st.Dropped {
+				t.Fatalf("drop accounting leak: offered %d, admitted %d, dropped %d", st.Offered, st.Admitted, st.Dropped)
+			}
+			if st.Throughput <= 0 {
+				t.Fatalf("throughput not populated: %+v", st)
+			}
+			if st.Delivered > 0 && (st.DelayP50 < 0 || st.DelayP95 < st.DelayP50 || st.DelayP99 < st.DelayP95) {
+				t.Fatalf("delay percentiles out of order: p50=%v p95=%v p99=%v", st.DelayP50, st.DelayP95, st.DelayP99)
+			}
+			if rr := st.RefusalRate(); rr < 0 || rr > 1 {
+				t.Fatalf("refusal rate outside [0,1]: %v", rr)
+			}
+		})
 	}
 }
 

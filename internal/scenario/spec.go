@@ -19,7 +19,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"meshroute"
@@ -56,6 +55,21 @@ const (
 	KindPairs      = "pairs" // explicit source/destination pairs
 	KindBurst      = "burst" // deterministic arithmetic injection pattern
 	KindBernoulli  = "bernoulli"
+	KindOnline     = "online" // streaming arrival process with admission policy
+)
+
+// Arrival processes accepted by Workload.Process for the online kind.
+const (
+	ProcessBernoulli = "bernoulli" // memoryless per-node rate, uniform dest
+	ProcessOnOff     = "onoff"     // bursty on/off windows (Burst, Gap)
+	ProcessHotspot   = "hotspot"   // all traffic converges on Hotspots nodes
+	ProcessTranspose = "transpose" // sustained transpose pattern
+)
+
+// Admission policies accepted by Workload.Admission for the online kind.
+const (
+	AdmissionRetry = "retry" // refused injections wait in the source backlog
+	AdmissionDrop  = "drop"  // refused injections are counted and discarded
 )
 
 // Workload selects the routing instance of a Spec.
@@ -73,16 +87,56 @@ type Workload struct {
 	Pairs []workload.Pair `json:"pairs,omitempty"`
 	// Horizon is the dynamic kinds' injection-and-run window in steps:
 	// the run executes exactly Horizon steps. The burst kind injects over
-	// the first Horizon/2 steps; bernoulli over all of them.
+	// the first Horizon/2 steps; bernoulli and online over all of them.
 	Horizon int `json:"horizon,omitempty"`
-	// Rate is the bernoulli kind's per-node injection probability per step.
+	// Rate is the per-node injection probability per step (bernoulli kind
+	// and every online arrival process).
 	Rate float64 `json:"rate,omitempty"`
+	// Process selects the online kind's arrival process (Process*
+	// constants); empty defaults to "bernoulli".
+	Process string `json:"process,omitempty"`
+	// Admission selects the online kind's policy for injections refused by
+	// a full source queue (Admission* constants); empty defaults to
+	// "retry".
+	Admission string `json:"admission,omitempty"`
+	// Drain, for the online kind, keeps the run going after the horizon
+	// until the network empties (bounded by the automatic step budget)
+	// instead of stopping at exactly Horizon steps.
+	Drain bool `json:"drain,omitempty"`
+	// Burst and Gap are the onoff process's window lengths in steps.
+	Burst int `json:"burst,omitempty"`
+	Gap   int `json:"gap,omitempty"`
+	// Hotspots is the hotspot process's hot-node count; 0 defaults to 1.
+	Hotspots int `json:"hotspots,omitempty"`
 }
 
 // Dynamic reports whether the workload schedules injections over time (and
-// therefore runs for exactly Horizon steps) rather than placing packets up
-// front.
-func (w Workload) Dynamic() bool { return w.Kind == KindBurst || w.Kind == KindBernoulli }
+// therefore runs for exactly Horizon steps, unless Drain is set) rather
+// than placing packets up front.
+func (w Workload) Dynamic() bool {
+	return w.Kind == KindBurst || w.Kind == KindBernoulli || w.Kind == KindOnline
+}
+
+// ApplyOnlineDefaults materializes the online kind's defaulted knobs in
+// place (process "bernoulli", admission "retry", one hotspot for the
+// hotspot process). A no-op for every other kind, so fingerprints of
+// non-online specs are unchanged; for online specs it makes the defaults
+// explicit, so a spec relying on them fingerprints identically to one
+// spelling them out (and -dump-scenario prints the materialized values).
+func (w *Workload) ApplyOnlineDefaults() {
+	if w.Kind != KindOnline {
+		return
+	}
+	if w.Process == "" {
+		w.Process = ProcessBernoulli
+	}
+	if w.Admission == "" {
+		w.Admission = AdmissionRetry
+	}
+	if w.Process == ProcessHotspot && w.Hotspots == 0 {
+		w.Hotspots = 1
+	}
+}
 
 // Faults parameterizes the seeded fault schedule of a Spec; it mirrors
 // fault.Config field for field (see internal/fault for semantics).
@@ -274,10 +328,57 @@ func (s *Spec) validateWorkload() error {
 		if w.Rate <= 0 || w.Rate > 1 {
 			return invalid("workload.rate", "rate %v outside (0, 1]", w.Rate)
 		}
+	case KindOnline:
+		if w.Horizon < 1 {
+			return invalid("workload.horizon", "online workload needs horizon >= 1, got %d", w.Horizon)
+		}
+		if w.Rate <= 0 || w.Rate > 1 {
+			return invalid("workload.rate", "rate %v outside (0, 1]", w.Rate)
+		}
+		switch w.Process {
+		case "", ProcessBernoulli, ProcessHotspot, ProcessTranspose:
+		case ProcessOnOff:
+			if w.Burst < 1 {
+				return invalid("workload.burst", "onoff process needs burst >= 1, got %d", w.Burst)
+			}
+			if w.Gap < 1 {
+				return invalid("workload.gap", "onoff process needs gap >= 1, got %d", w.Gap)
+			}
+		default:
+			return invalid("workload.process", "unknown arrival process %q", w.Process)
+		}
+		switch w.Admission {
+		case "", AdmissionRetry, AdmissionDrop:
+		default:
+			return invalid("workload.admission", "unknown admission policy %q (want %q or %q)", w.Admission, AdmissionRetry, AdmissionDrop)
+		}
+		if w.Hotspots < 0 {
+			return invalid("workload.hotspots", "negative hotspot count %d", w.Hotspots)
+		}
+		if w.Hotspots > 0 && w.Process != ProcessHotspot {
+			return invalid("workload.hotspots", "hotspots set but process is %q, not %q", w.Process, ProcessHotspot)
+		}
+		if (w.Burst != 0 || w.Gap != 0) && w.Process != ProcessOnOff {
+			return invalid("workload.burst", "burst/gap set but process is %q, not %q", w.Process, ProcessOnOff)
+		}
 	case "":
 		return invalid("workload.kind", "missing workload kind")
 	default:
 		return invalid("workload.kind", "unknown workload kind %q", w.Kind)
+	}
+	if w.Kind != KindOnline {
+		switch {
+		case w.Process != "":
+			return invalid("workload.process", "process is an online-kind knob, kind is %q", w.Kind)
+		case w.Admission != "":
+			return invalid("workload.admission", "admission is an online-kind knob, kind is %q", w.Kind)
+		case w.Drain:
+			return invalid("workload.drain", "drain is an online-kind knob, kind is %q", w.Kind)
+		case w.Burst != 0 || w.Gap != 0:
+			return invalid("workload.burst", "burst/gap are online-kind knobs, kind is %q", w.Kind)
+		case w.Hotspots != 0:
+			return invalid("workload.hotspots", "hotspots is an online-kind knob, kind is %q", w.Kind)
+		}
 	}
 	return nil
 }
@@ -353,9 +454,29 @@ func (s *Spec) Build() (*Run, error) {
 		Net:    net,
 		NewAlg: newAlg,
 		Budget: budget,
-		Exact:  s.Workload.Dynamic(),
+		Exact:  s.Workload.Dynamic() && !s.Workload.Drain,
 		Faults: sched,
 	}, nil
+}
+
+// StepBudget returns the run's step budget as Build computes it: MaxSteps
+// (or the generous automatic budget 200·(n²/k + 2n) when zero) for static
+// workloads; exactly Horizon for dynamic ones; Horizon plus the static
+// budget for an online workload with Drain, which keeps stepping past the
+// horizon until the network empties.
+func (s *Spec) StepBudget() int {
+	auto := s.MaxSteps
+	if auto == 0 {
+		auto = 200 * (s.N*s.N/s.K + 2*s.N)
+	}
+	w := s.Workload
+	if !w.Dynamic() {
+		return auto
+	}
+	if w.Kind == KindOnline && w.Drain {
+		return w.Horizon + auto
+	}
+	return w.Horizon
 }
 
 // applyWorkload places or schedules the Spec's workload and returns the
@@ -385,42 +506,51 @@ func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, error) 
 		// Bursty deterministic arithmetic pattern (no RNG) over the first
 		// half of the horizon: node id injects at steps congruent to
 		// id mod 7, toward a shifted destination. This is the pinned
-		// pattern of the dynamic golden-digest scenarios.
-		nn := s.N * s.N
-		for step := 1; step <= w.Horizon/2; step++ {
-			for id := 0; id < nn; id++ {
-				if (id+step)%7 == 0 {
-					dst := grid.NodeID((id*13 + step*29) % nn)
-					net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
-				}
-			}
+		// pattern of the dynamic golden-digest scenarios, now streamed
+		// lazily through the Source contract (bit-identical to the old
+		// pre-scheduled QueueInjection loop).
+		if err := net.AttachSource(workload.NewBurst(s.N*s.N, w.Horizon), sim.AdmitRetry); err != nil {
+			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
 		}
-		return w.Horizon, nil
+		return s.StepBudget(), nil
 	case KindBernoulli:
 		// Each node sources a packet with probability Rate per step,
-		// uniform destination; the whole pattern is pre-scheduled from
-		// the seed, so the run is exactly reproducible.
-		nn := s.N * s.N
-		rng := rand.New(rand.NewSource(w.Seed))
-		for step := 1; step <= w.Horizon; step++ {
-			for id := 0; id < nn; id++ {
-				if rng.Float64() < w.Rate {
-					dst := grid.NodeID(rng.Intn(nn))
-					net.QueueInjection(net.NewPacket(grid.NodeID(id), dst), step)
-				}
-			}
+		// uniform destination; the stream is pinned by the seed under the
+		// Source contract, so the run is exactly reproducible.
+		if err := net.AttachSource(workload.NewBernoulli(s.N*s.N, w.Rate, w.Horizon, w.Seed), sim.AdmitRetry); err != nil {
+			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
 		}
-		return w.Horizon, nil
+		return s.StepBudget(), nil
+	case KindOnline:
+		w.ApplyOnlineDefaults()
+		var src workload.Source
+		switch w.Process {
+		case ProcessBernoulli:
+			src = workload.NewBernoulli(s.N*s.N, w.Rate, w.Horizon, w.Seed)
+		case ProcessOnOff:
+			src = workload.NewOnOff(s.N*s.N, w.Rate, w.Burst, w.Gap, w.Horizon, w.Seed)
+		case ProcessHotspot:
+			src = workload.NewHotspot(topo, w.Hotspots, w.Rate, w.Horizon, w.Seed)
+		case ProcessTranspose:
+			src = workload.NewTransposeStream(topo, w.Rate, w.Horizon, w.Seed)
+		default:
+			return 0, invalid("workload.process", "unknown arrival process %q", w.Process)
+		}
+		policy := sim.AdmitRetry
+		if w.Admission == AdmissionDrop {
+			policy = sim.AdmitDrop
+		}
+		if err := net.AttachSource(src, policy); err != nil {
+			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
+		}
+		return s.StepBudget(), nil
 	default:
 		return 0, invalid("workload.kind", "unknown workload kind %q", w.Kind)
 	}
 	if err := perm.Place(net); err != nil {
 		return 0, fmt.Errorf("scenario %s: place workload: %w", s.describe(), err)
 	}
-	if s.MaxSteps > 0 {
-		return s.MaxSteps, nil
-	}
-	return 200 * (s.N*s.N/s.K + 2*s.N), nil
+	return s.StepBudget(), nil
 }
 
 // describe labels the spec in error messages.

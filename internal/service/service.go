@@ -465,13 +465,7 @@ func (s *Server) vetSpec(spec *scenario.Spec) error {
 		return fmt.Errorf("metrics_out/trace_out are server-side file paths and are not accepted; stream GET /v1/jobs/{id}/events instead")
 	}
 	if s.cfg.MaxJobSteps > 0 {
-		budget := spec.MaxSteps
-		if spec.Workload.Dynamic() {
-			budget = spec.Workload.Horizon
-		} else if budget == 0 {
-			budget = 200 * (spec.N*spec.N/spec.K + 2*spec.N)
-		}
-		if budget > s.cfg.MaxJobSteps {
+		if budget := spec.StepBudget(); budget > s.cfg.MaxJobSteps {
 			return fmt.Errorf("step budget %d exceeds the server's per-job cap %d", budget, s.cfg.MaxJobSteps)
 		}
 	}
@@ -802,6 +796,14 @@ type EngineMetrics struct {
 	DeliveredTotal   int64   `json:"delivered_total"`
 	FaultEventsTotal int64   `json:"fault_events_total"`
 	StepsPerSec      float64 `json:"steps_per_sec"`
+	// Online-injection admission totals across every job (0 while only
+	// static workloads have run): offers presented, admissions, refusals,
+	// and the aggregate per-attempt refusal rate
+	// refused/(admitted+refused).
+	OfferedTotal  int64   `json:"offered_total"`
+	AdmittedTotal int64   `json:"admitted_total"`
+	RefusedTotal  int64   `json:"refused_total"`
+	RefusalRate   float64 `json:"refusal_rate"`
 }
 
 // handleMetrics is GET /metrics.
@@ -839,9 +841,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MovesTotal:       s.counters.Moves(),
 		DeliveredTotal:   s.counters.Delivered(),
 		FaultEventsTotal: s.counters.Events(),
+		OfferedTotal:     s.counters.Offered(),
+		AdmittedTotal:    s.counters.Admitted(),
+		RefusedTotal:     s.counters.Refused(),
 	}
 	if uptime > 0 {
 		m.Engine.StepsPerSec = float64(m.Engine.StepsTotal) / uptime
+	}
+	if attempts := m.Engine.AdmittedTotal + m.Engine.RefusedTotal; attempts > 0 {
+		m.Engine.RefusalRate = float64(m.Engine.RefusedTotal) / float64(attempts)
 	}
 	writeJSON(w, http.StatusOK, m)
 }

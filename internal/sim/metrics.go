@@ -28,6 +28,19 @@ type Metrics struct {
 	// link was down or the target node stalled (0 without faults).
 	FaultDrops int
 
+	// Admission accounting (nonzero only for streamed/queued injection).
+	// Offered counts distinct injection requests presented to the
+	// admission phase; Admitted counts those that entered a queue (or were
+	// delivered in place); Refused counts refusal events — one per step a
+	// packet waits in a backlog under the retry policy, one per discarded
+	// offer under the drop policy — so Refused/(Admitted+Refused) is the
+	// per-attempt refusal rate; Dropped counts offers discarded under the
+	// drop policy (a subset of Refused, and never materialized).
+	Offered  int
+	Admitted int
+	Refused  int
+	Dropped  int
+
 	recordHistory bool
 }
 
@@ -88,6 +101,10 @@ func (net *Network) emitStepSample(step int, arrivals []arrival, delivered int) 
 		Moves:          len(arrivals),
 		Delivered:      delivered,
 		DeliveredTotal: net.delivered,
+		Offered:        net.stepOffered,
+		Admitted:       net.stepAdmitted,
+		Refused:        net.stepRefused,
+		Backlog:        net.backlogTotal,
 	}
 	for _, a := range arrivals {
 		s.LinkUse[a.dir]++

@@ -391,9 +391,28 @@ type Network struct {
 
 	// Active-backlog tracking: the nodes whose backlog is nonempty, so
 	// injectPending touches O(active) slots per step instead of scanning
-	// all N backlog slots. inBacklog is the membership bitmap.
+	// all N backlog slots. inBacklog is the membership bitmap; backlogHead
+	// is the index of each backlog's first undrained packet, so draining
+	// advances an index instead of reslicing (which would shed the slice's
+	// base pointer and force a fresh allocation every refill).
 	backlogNodes []grid.NodeID
 	inBacklog    []bool
+	backlogHead  []int32
+
+	// Streaming-workload state (see source.go). The source is pulled once
+	// per step by the injection phase; injBuf is the reused Next buffer.
+	source       Source
+	admit        AdmissionPolicy
+	srcExhausted bool
+	openSource   bool // source injects beyond step 0 (an online run)
+	injBuf       []Injection
+
+	// Per-step admission counters, reset at the top of the injection
+	// phase and folded into Metrics / the step sample at its end.
+	stepOffered  int
+	stepAdmitted int
+	stepRefused  int
+	stepDropped  int
 
 	exchange  ExchangeFn
 	observer  ObserverFn
@@ -507,6 +526,7 @@ func New(cfg Config) (*Network, error) {
 		backlog:    make([][]PacketID, n),
 		inBacklog:  make([]bool, n),
 	}
+	net.backlogHead = make([]int32, n)
 	for i := range net.nodes {
 		net.nodes[i].ID = grid.NodeID(i)
 	}
@@ -595,9 +615,14 @@ func (net *Network) TotalPackets() int { return net.total }
 // DeliveredCount returns the number of packets delivered so far.
 func (net *Network) DeliveredCount() int { return net.delivered }
 
-// Done reports whether every packet has been delivered.
+// Done reports whether the run is quiescent: every materialized packet has
+// been delivered, no injections are still scheduled, and any attached
+// streaming source is exhausted. For open workloads (a live source) Done
+// stays false until the source dries up and the network drains, so run
+// termination comes from the step budget (the horizon) instead.
 func (net *Network) Done() bool {
-	return net.delivered == net.total && len(net.pendingInj) == 0
+	return (net.source == nil || net.srcExhausted) &&
+		net.delivered == net.total && len(net.pendingInj) == 0
 }
 
 // SetExchange installs the adversary exchange hook.

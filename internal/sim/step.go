@@ -642,6 +642,7 @@ func (net *Network) withinStray(p PacketID, nb grid.NodeID) bool {
 // is sorted before draining so nodes drain in ascending id order, exactly
 // the order the previous full-scan implementation used.
 func (net *Network) injectPending(t int) {
+	net.stepOffered, net.stepAdmitted, net.stepRefused, net.stepDropped = 0, 0, 0, 0
 	st := &net.P
 	if ps, ok := net.pendingInj[t]; ok {
 		for _, p := range ps {
@@ -654,16 +655,24 @@ func (net *Network) injectPending(t int) {
 		}
 		net.pendingTotal -= len(ps)
 		net.backlogTotal += len(ps)
+		net.stepOffered += len(ps)
 		delete(net.pendingInj, t)
 	}
+	if net.source != nil && !net.srcExhausted {
+		net.pullSource(t)
+	}
 	if len(net.backlogNodes) == 0 {
+		net.finishAdmission()
 		return
 	}
 	slices.Sort(net.backlogNodes)
 	w := 0
 	for _, id := range net.backlogNodes {
 		bl := net.backlog[id]
-		if len(bl) == 0 {
+		h := int(net.backlogHead[id])
+		if h >= len(bl) {
+			net.backlog[id] = bl[:0]
+			net.backlogHead[id] = 0
 			net.inBacklog[id] = false
 			continue
 		}
@@ -675,16 +684,17 @@ func (net *Network) injectPending(t int) {
 			continue
 		}
 		node := &net.nodes[id]
-		for len(bl) > 0 {
-			p := bl[0]
+		for h < len(bl) {
+			p := bl[h]
 			if st.Src[p] == st.Dst[p] {
 				st.At[p] = st.Dst[p]
 				st.InjectStep[p] = int32(t)
 				st.DeliverStep[p] = int32(t)
 				net.delivered++
 				net.Metrics.noteDelivered(t, t)
-				bl = bl[1:]
+				h++
 				net.backlogTotal--
+				net.stepAdmitted++
 				continue
 			}
 			var tag uint8
@@ -698,18 +708,45 @@ func (net *Network) injectPending(t int) {
 			}
 			st.InjectStep[p] = int32(t)
 			net.attach(node, p, tag)
-			bl = bl[1:]
+			h++
 			net.backlogTotal--
+			net.stepAdmitted++
 		}
-		net.backlog[id] = bl
-		if len(bl) == 0 {
+		if h >= len(bl) {
+			// Fully drained: reset to the slice's base so the retained
+			// capacity is reused by the next refill without allocating.
+			net.backlog[id] = bl[:0]
+			net.backlogHead[id] = 0
 			net.inBacklog[id] = false
-		} else {
-			net.backlogNodes[w] = id
-			w++
+			continue
 		}
+		// Partially drained: once the dead prefix dominates, compact in
+		// place so a long-lived backlog's memory stays proportional to its
+		// live residue rather than its cumulative history.
+		if h >= 64 && 2*h >= len(bl) {
+			n := copy(bl, bl[h:])
+			net.backlog[id] = bl[:n]
+			h = 0
+		}
+		net.backlogHead[id] = int32(h)
+		net.backlogNodes[w] = id
+		w++
 	}
 	net.backlogNodes = net.backlogNodes[:w]
+	net.finishAdmission()
+}
+
+// finishAdmission closes the injection phase's books: every packet still in
+// a backlog was refused admission this step (the retry policy's per-step
+// refusal), dropped offers were refused terminally, and the step counters
+// fold into the run totals. The step counters stay live for emitStepSample.
+func (net *Network) finishAdmission() {
+	net.stepRefused = net.stepDropped + net.backlogTotal
+	m := &net.Metrics
+	m.Offered += net.stepOffered
+	m.Admitted += net.stepAdmitted
+	m.Refused += net.stepRefused
+	m.Dropped += net.stepDropped
 }
 
 // compactOcc drops empty nodes from the occupied list.

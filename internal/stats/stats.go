@@ -147,3 +147,26 @@ func Summarize(samples []float64) Summary {
 		Median: med,
 	}
 }
+
+// Quantiles returns the nearest-rank quantiles of the samples at the given
+// probabilities (each in [0, 1]; 0 is the minimum, 1 the maximum). The
+// input is not modified. An empty sample yields all zeros.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		r := int(math.Ceil(q*float64(len(s)))) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= len(s) {
+			r = len(s) - 1
+		}
+		out[i] = s[r]
+	}
+	return out
+}

@@ -53,14 +53,12 @@ func (p *Permutation) Validate() error {
 	return nil
 }
 
-// Place places one packet per pair into the network.
+// Place installs the instance as a step-0 Replay source: one-shot static
+// placement is the degenerate case of streaming, and the packets are placed
+// through exactly the same admission as any streamed injection (identical
+// order, identical errors to the historical direct-place loop).
 func (p *Permutation) Place(net *sim.Network) error {
-	for _, pr := range p.Pairs {
-		if err := net.Place(net.NewPacket(pr.Src, pr.Dst)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return net.AttachSource(Replay(p), sim.AdmitRetry)
 }
 
 // Random returns a uniformly random full permutation of the topology's
@@ -197,23 +195,15 @@ func (hh *HH) Validate() error {
 	return nil
 }
 
-// Inject queues the h-h instance into the network as step-1 injections
-// (the dynamic setting of Section 5, needed when h exceeds the queue
-// capacity k: extra packets wait in the source backlog and enter in FIFO
-// order, independent of destination).
-func (hh *HH) Inject(net *sim.Network) {
-	for _, pr := range hh.Pairs {
-		net.QueueInjection(net.NewPacket(pr.Src, pr.Dst), 1)
-	}
-}
+// Source returns the h-h instance as a step-1 streaming source (the
+// dynamic setting of Section 5, needed when h exceeds the queue capacity k:
+// extra packets wait in the source backlog and enter in FIFO order,
+// independent of destination). Attach it with sim.AdmitRetry to reproduce
+// the historical Inject behavior.
+func (hh *HH) Source() Source { return ReplayAt(hh.Pairs, 1) }
 
-// Place places the h-h instance directly (requires k >= h in the
-// central-queue model).
+// Place places the h-h instance directly at step 0 (requires k >= h in the
+// central-queue model), via the same Replay source path as Permutation.
 func (hh *HH) Place(net *sim.Network) error {
-	for _, pr := range hh.Pairs {
-		if err := net.Place(net.NewPacket(pr.Src, pr.Dst)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return net.AttachSource(ReplayAt(hh.Pairs, 0), sim.AdmitRetry)
 }

@@ -120,11 +120,33 @@ func TestPlaceIntoNetwork(t *testing.T) {
 	}
 }
 
-func TestHHInjectQueues(t *testing.T) {
+// nopAlg never schedules a move: enough to drive the injection phase.
+type nopAlg struct{}
+
+func (nopAlg) Name() string                     { return "nop" }
+func (nopAlg) InitNode(*sim.Network, *sim.Node) {}
+func (nopAlg) Schedule(*sim.Network, *sim.Node) [grid.NumDirs]int {
+	return [grid.NumDirs]int{-1, -1, -1, -1}
+}
+func (nopAlg) Accept(*sim.Network, *sim.Node, []sim.Offer, []bool) {}
+func (nopAlg) Update(*sim.Network, *sim.Node)                      {}
+
+func TestHHSourceQueues(t *testing.T) {
 	topo := grid.NewSquareMesh(4)
 	net := sim.MustNew(sim.Config{Topo: topo, K: 1, Queues: sim.CentralQueue})
 	hh := RandomHH(topo, 2, 5)
-	hh.Inject(net)
+	if err := net.AttachSource(hh.Source(), sim.AdmitRetry); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalPackets() != 0 {
+		t.Fatalf("materialized %d packets before step 1", net.TotalPackets())
+	}
+	if net.Done() {
+		t.Fatal("network with a live source must not be Done")
+	}
+	if err := net.StepOnce(nopAlg{}); err != nil {
+		t.Fatal(err)
+	}
 	if net.TotalPackets() != 32 {
 		t.Fatalf("queued %d", net.TotalPackets())
 	}

@@ -150,6 +150,31 @@ type RouteStats struct {
 	// FaultDrops counts moves dropped on failed links or into stalled
 	// nodes (0 without fault injection).
 	FaultDrops int
+
+	// Online reports an open workload: a streaming source injecting past
+	// step 0, for which the admission and throughput fields below are
+	// meaningful (they stay zero on static one-shot runs).
+	Online bool
+	// Offered counts distinct injection requests presented to admission;
+	// Admitted those that entered the network; Refused the refusal events
+	// (per-step backlog waits plus drops), so the per-attempt refusal rate
+	// is Refused/(Admitted+Refused); Dropped the offers discarded
+	// terminally under the drop policy.
+	Offered, Admitted, Refused, Dropped int
+	// Throughput is the delivered-per-step rate over the whole run.
+	Throughput float64
+	// DelayP50, DelayP95 and DelayP99 are time-in-system percentiles
+	// (delivery step minus injection step) over delivered packets.
+	DelayP50, DelayP95, DelayP99 float64
+}
+
+// RefusalRate returns Refused/(Admitted+Refused), the fraction of
+// admission attempts refused, or 0 when there were none.
+func (s RouteStats) RefusalRate() float64 {
+	if s.Admitted+s.Refused == 0 {
+		return 0
+	}
+	return float64(s.Refused) / float64(s.Admitted+s.Refused)
 }
 
 // RouteOptions extends Route with robustness controls.
