@@ -50,6 +50,13 @@ const stepTorusCells = "BenchmarkStepTorus/n64/w1,BenchmarkStepTorus/n64/w2,Benc
 // at every worker count.
 const stepOnlineCells = "BenchmarkStepOnline/n64/w1,BenchmarkStepOnline/n64/w2,BenchmarkStepOnline/n64/w4,BenchmarkStepOnline/n64/w8"
 
+// stepOnlineAnalyzedCells names the StepOnline cells that run with the
+// congestion/dilation accumulator attached (internal/analysis): the
+// analyzer's admission hook must stay allocation-free, so analysis is
+// pay-for-play in CPU only — and with the analyzer absent (all other
+// gated cells) the hook is one nil check.
+const stepOnlineAnalyzedCells = "BenchmarkStepOnlineAnalyzed/n64/w1,BenchmarkStepOnlineAnalyzed/n64/w4"
+
 // result is the aggregated outcome of one benchmark across -count runs.
 type result struct {
 	name     string
@@ -139,8 +146,8 @@ func main() {
 	baseline := flag.String("baseline", "out/BENCH_BASELINE.txt", "committed baseline `go test -bench` output")
 	current := flag.String("current", "", "current `go test -bench` output (required)")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed ns/op regression, percent")
-	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,"+stepTorusCells+","+stepOnlineCells, "comma-separated benchmarks required to report 0 allocs/op")
-	zeroBytes := flag.String("zero-bytes", stepTorusCells+","+stepOnlineCells, "comma-separated benchmarks required to report 0 B/op")
+	zeroAlloc := flag.String("zero-alloc", "BenchmarkStepDenseNilSink,"+stepTorusCells+","+stepOnlineCells+","+stepOnlineAnalyzedCells, "comma-separated benchmarks required to report 0 allocs/op")
+	zeroBytes := flag.String("zero-bytes", stepTorusCells+","+stepOnlineCells+","+stepOnlineAnalyzedCells, "comma-separated benchmarks required to report 0 B/op")
 	scaleBase := flag.String("scale-base", "BenchmarkStepTorus/n1024/w1", "scaling-gate reference benchmark")
 	scaleW := flag.String("scale-w", "BenchmarkStepTorus/n1024/w4", "scaling-gate parallel benchmark")
 	scaleRatio := flag.Float64("scale-ratio", 0.75, "max allowed scale-w ns/op as a fraction of scale-base (0 disables)")

@@ -86,6 +86,14 @@ type CellResult struct {
 	// over the run — the bounded-buffer admission pressure. Omitted
 	// elsewhere (and when the queues never filled).
 	RefusalRate float64 `json:"refusal_rate,omitempty"`
+	// Congestion, Dilation and CDRatio are the workload's analyzed C and
+	// D and the efficiency ratio makespan/(C+D) (docs/ANALYSIS.md).
+	// Present on every scenario-built cell (specCell forces analysis);
+	// omitted on phase-simulation, lower-bound and constructed-
+	// permutation cells, which bypass the scenario layer.
+	Congestion int     `json:"congestion,omitempty"`
+	Dilation   int     `json:"dilation,omitempty"`
+	CDRatio    float64 `json:"cd_ratio,omitempty"`
 }
 
 // Output is the top-level BENCH json document.
@@ -111,6 +119,9 @@ type stats struct {
 	peakQueue   int
 	throughput  float64
 	refusalRate float64
+	congestion  int
+	dilation    int
+	cdRatio     float64
 }
 
 type cell struct {
@@ -127,6 +138,11 @@ func thm15() sim.Algorithm    { return dex.NewAdapter(routers.Thm15{}) }
 // sim-engine cells go through the scenario layer, same as the CLIs and the
 // experiment harness.
 func specCell(s *scenario.Spec, requireDone bool) (stats, error) {
+	// Every sim-engine cell carries the C/D efficiency columns; the
+	// analyzer runs inside the timed region, so its (one-off, per-run)
+	// cost is part of the cell's wall clock, not the per-step figure the
+	// gate watches.
+	s.Analysis = true
 	var r scenario.Runner
 	res, err := r.Run(context.Background(), s)
 	if err != nil {
@@ -142,6 +158,11 @@ func specCell(s *scenario.Spec, requireDone bool) (stats, error) {
 	if res.Stats.Online {
 		st.throughput = res.Stats.Throughput
 		st.refusalRate = res.Stats.RefusalRate()
+	}
+	if res.Stats.Analyzed {
+		st.congestion = res.Stats.Congestion
+		st.dilation = res.Stats.Dilation
+		st.cdRatio = res.Stats.CDRatio
 	}
 	return st, nil
 }
@@ -447,6 +468,7 @@ func main() {
 			Makespan: st.makespan, PeakQueue: st.peakQueue,
 			Allocs: after.Mallocs - before.Mallocs, AllocBytes: after.TotalAlloc - before.TotalAlloc,
 			Throughput: st.throughput, RefusalRate: st.refusalRate,
+			Congestion: st.congestion, Dilation: st.dilation, CDRatio: st.cdRatio,
 		}
 		fmt.Fprintf(os.Stderr, "%-4s %-48s %8d steps %10.0f ns/step  makespan %6d  peakQ %4d\n",
 			c.id, c.name, st.steps, nsPerStep, st.makespan, st.peakQueue)

@@ -112,7 +112,7 @@ func runAll(opts experiments.Options, only, csvDir string) error {
 		{"E4", experiments.E4}, {"E5", experiments.E5}, {"E6", experiments.E6},
 		{"E7", experiments.E7}, {"E8", experiments.E8}, {"E9", experiments.E9},
 		{"E10", experiments.E10}, {"E11", experiments.E11}, {"E12", experiments.E12}, {"E13", experiments.E13}, {"E14", experiments.E14},
-		{"E15", experiments.E15},
+		{"E15", experiments.E15}, {"E16", experiments.E16},
 		{"A1", experiments.A1}, {"A2", experiments.A2},
 	}
 	for _, e := range all {

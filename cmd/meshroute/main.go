@@ -70,6 +70,7 @@ func main() {
 		submitTimeout = flag.Duration("submit-timeout", 2*time.Minute, "overall budget for -submit, including retries on transient errors (0 = no limit)")
 		routerSeed    = flag.Uint64("router-seed", 0, "seed for a randomized router's decisions (rand-zigzag; 0 = default stream)")
 		workers       = flag.Int("workers", 0, "engine worker count for intra-step parallel scheduling (0 = serial)")
+		analyze       = flag.Bool("analyze", false, "compute the workload's congestion C and dilation D and report makespan/(C+D) (see docs/ANALYSIS.md)")
 
 		faultSeed   = flag.Int64("fault-seed", 1, "fault schedule seed")
 		faultLinks  = flag.Int("fault-links", 0, "number of link-failure episodes to inject (0 = no link faults)")
@@ -103,7 +104,7 @@ func main() {
 		traceFile: *traceFile, metricsOut: *metricsOut,
 		scenarioFile: *scenarioFile, dumpScenario: *dumpScenario,
 		submitFile: *submitFile, server: *server, submitTimeout: *submitTimeout,
-		routerSeed: *routerSeed, workers: *workers,
+		routerSeed: *routerSeed, workers: *workers, analyze: *analyze,
 		faultSeed: *faultSeed, faultLinks: *faultLinks, faultDown: *faultDown,
 		faultPerm: *faultPerm, faultStalls: *faultStalls, faultStall: *faultStall,
 		faultHoriz: *faultHoriz, faultAware: *faultAware, watchdog: *watchdog,
@@ -156,6 +157,7 @@ type cliOptions struct {
 	submitTimeout           time.Duration
 	routerSeed              uint64
 	workers                 int
+	analyze                 bool
 	faultSeed               int64
 	faultLinks, faultStalls int
 	faultDown, faultStall   int
@@ -178,6 +180,7 @@ func (o cliOptions) spec() (*scenario.Spec, error) {
 		MaxSteps:   o.maxSteps,
 		MetricsOut: o.metricsOut,
 		TraceOut:   o.traceFile,
+		Analysis:   o.analyze,
 	}
 	if o.torus {
 		s.Topology = scenario.TopoTorus
@@ -236,6 +239,9 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 		if o.traceFile != "" {
 			spec.TraceOut = o.traceFile
+		}
+		if o.analyze {
+			spec.Analysis = true
 		}
 	} else {
 		spec, err = o.spec()
@@ -400,5 +406,9 @@ func printStats(router string, n, k int, st meshroute.RouteStats) {
 			st.Offered, st.Admitted, st.Refused, st.RefusalRate(), st.Dropped)
 		fmt.Printf("  throughput: %.3f delivered/step, delay p50/p95/p99: %.0f/%.0f/%.0f\n",
 			st.Throughput, st.DelayP50, st.DelayP95, st.DelayP99)
+	}
+	if st.Analyzed {
+		fmt.Printf("  analysis:  C=%d D=%d, cd_ratio=%.3f (makespan/(C+D))\n",
+			st.Congestion, st.Dilation, st.CDRatio)
 	}
 }

@@ -59,6 +59,7 @@ func ExampleRouterNames() {
 	// farthest-first minimal=true dex=false
 	// hot-potato minimal=false dex=true
 	// rand-zigzag minimal=true dex=false
+	// scheduled minimal=true dex=false
 	// stray-dimorder minimal=false dex=true
 	// thm15 minimal=true dex=true
 	// zigzag minimal=true dex=true

@@ -57,15 +57,18 @@ func interrupted(rep *Report) *Report {
 
 // runSpec executes one scenario spec under the experiment's context and
 // returns the run result; every sim-engine cell in this package goes
-// through the scenario layer.
+// through the scenario layer. Analysis is always on, so every cell's
+// Stats carries the workload's congestion/dilation and the
+// makespan/(C+D) efficiency ratio (docs/ANALYSIS.md).
 func (o Options) runSpec(s *scenario.Spec) (*scenario.Result, error) {
+	s.Analysis = true
 	var r scenario.Runner
 	return r.Run(o.ctx(), s)
 }
 
 // Report is one experiment's output.
 type Report struct {
-	// ID is the experiment identifier (E1..E9, A1, A2).
+	// ID is the experiment identifier (E1..E16, A1, A2).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -663,7 +666,7 @@ func A2(opts Options) (*Report, error) {
 
 // All runs every experiment.
 func All(opts Options) ([]*Report, error) {
-	fns := []func(Options) (*Report, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, A1, A2}
+	fns := []func(Options) (*Report, error){E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E16, A1, A2}
 	var out []*Report
 	for _, fn := range fns {
 		r, err := fn(opts)

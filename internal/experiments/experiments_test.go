@@ -14,8 +14,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 16 {
-		t.Fatalf("want 16 reports, got %d", len(reps))
+	if len(reps) != 17 {
+		t.Fatalf("want 17 reports, got %d", len(reps))
 	}
 	seen := map[string]bool{}
 	for _, r := range reps {
@@ -28,7 +28,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 			t.Fatalf("%s: degenerate output:\n%s", r.ID, out)
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E16", "A1", "A2"} {
 		if !seen[id] {
 			t.Fatalf("missing %s", id)
 		}

@@ -67,6 +67,14 @@ type Stats struct {
 	DelayP50   float64 `json:"delay_p50,omitempty"`
 	DelayP95   float64 `json:"delay_p95,omitempty"`
 	DelayP99   float64 `json:"delay_p99,omitempty"`
+
+	// Congestion/dilation efficiency of an analyzed run (see
+	// docs/ANALYSIS.md); all omitted on the wire for analysis-off runs,
+	// so pre-analysis payloads are byte-stable.
+	Analyzed   bool    `json:"analyzed,omitempty"`
+	Congestion int     `json:"congestion,omitempty"`
+	Dilation   int     `json:"dilation,omitempty"`
+	CDRatio    float64 `json:"cd_ratio,omitempty"`
 }
 
 // RouteStats converts back to the facade's statistics type.
@@ -89,6 +97,10 @@ func (s Stats) RouteStats() meshroute.RouteStats {
 		DelayP50:   s.DelayP50,
 		DelayP95:   s.DelayP95,
 		DelayP99:   s.DelayP99,
+		Analyzed:   s.Analyzed,
+		Congestion: s.Congestion,
+		Dilation:   s.Dilation,
+		CDRatio:    s.CDRatio,
 	}
 }
 
@@ -112,6 +124,10 @@ func ToStats(st meshroute.RouteStats) Stats {
 		DelayP50:   st.DelayP50,
 		DelayP95:   st.DelayP95,
 		DelayP99:   st.DelayP99,
+		Analyzed:   st.Analyzed,
+		Congestion: st.Congestion,
+		Dilation:   st.Dilation,
+		CDRatio:    st.CDRatio,
 	}
 }
 

@@ -17,6 +17,13 @@ type Counters struct {
 	refused   atomic.Int64
 	spans     atomic.Int64
 	events    atomic.Int64
+	// Analyzed-run aggregates: per-run makespans and C+D totals are
+	// summed separately so the fleet-wide efficiency ratio can be
+	// reported as sum(makespan)/sum(C+D) — the C+D-weighted mean of the
+	// per-run ratios, stable under mixed run sizes.
+	runs        atomic.Int64
+	runMakespan atomic.Int64
+	runCD       atomic.Int64
 }
 
 // Step folds one step sample into the totals.
@@ -40,6 +47,13 @@ func (c *Counters) Span(Span) { c.spans.Add(1) }
 
 // Event counts one fault/watchdog event.
 func (c *Counters) Event(Event) { c.events.Add(1) }
+
+// Run folds one analyzed run's terminal summary into the totals.
+func (c *Counters) Run(r RunSummary) {
+	c.runs.Add(1)
+	c.runMakespan.Add(int64(r.Makespan))
+	c.runCD.Add(int64(r.Congestion + r.Dilation))
+}
 
 // Steps returns the number of engine steps observed.
 func (c *Counters) Steps() int64 { return c.steps.Load() }
@@ -66,3 +80,16 @@ func (c *Counters) Spans() int64 { return c.spans.Load() }
 
 // Events returns the number of fault/watchdog events observed.
 func (c *Counters) Events() int64 { return c.events.Load() }
+
+// Runs returns the number of analyzed-run summaries observed.
+func (c *Counters) Runs() int64 { return c.runs.Load() }
+
+// CDRatio returns the aggregate efficiency ratio over all analyzed runs,
+// sum(makespan)/sum(C+D), or 0 when no analyzed run has been observed.
+func (c *Counters) CDRatio() float64 {
+	cd := c.runCD.Load()
+	if cd == 0 {
+		return 0
+	}
+	return float64(c.runMakespan.Load()) / float64(cd)
+}

@@ -17,6 +17,9 @@ const (
 	// LineFault marks an Event line (fault/watchdog events, see
 	// docs/ROBUSTNESS.md).
 	LineFault = "fault"
+	// LineRun marks a RunSummary line (the terminal C/D efficiency record
+	// of an analyzed run, see docs/ANALYSIS.md).
+	LineRun = "run"
 )
 
 // stepLine and spanLine wrap the payload types with the discriminator;
@@ -34,6 +37,11 @@ type spanLine struct {
 type faultLine struct {
 	T string `json:"t"`
 	Event
+}
+
+type runLine struct {
+	T string `json:"t"`
+	RunSummary
 }
 
 // StepLine renders one step sample as a metrics-JSONL line (with trailing
@@ -58,6 +66,13 @@ func EventLine(e Event) ([]byte, error) {
 	return append(data, '\n'), err
 }
 
+// RunLine renders one run summary as a metrics-JSONL line (with trailing
+// newline).
+func RunLine(r RunSummary) ([]byte, error) {
+	data, err := json.Marshal(runLine{T: LineRun, RunSummary: r})
+	return append(data, '\n'), err
+}
+
 // JSONL is a Sink that streams samples and spans to a writer as JSON
 // lines. Writes are buffered; call Close to flush and surface the first
 // write error. After an error the sink drops further records, so a run
@@ -69,6 +84,7 @@ type JSONL struct {
 	steps  int
 	spans  int
 	events int
+	runs   int
 }
 
 // NewJSONL creates a JSONL sink writing to w.
@@ -113,6 +129,18 @@ func (j *JSONL) Event(e Event) {
 	j.events++
 }
 
+// Run writes one run-summary line.
+func (j *JSONL) Run(r RunSummary) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(runLine{T: LineRun, RunSummary: r}); err != nil {
+		j.err = err
+		return
+	}
+	j.runs++
+}
+
 // StepCount returns the number of step lines written.
 func (j *JSONL) StepCount() int { return j.steps }
 
@@ -122,6 +150,9 @@ func (j *JSONL) SpanCount() int { return j.spans }
 // EventCount returns the number of fault lines written.
 func (j *JSONL) EventCount() int { return j.events }
 
+// RunCount returns the number of run-summary lines written.
+func (j *JSONL) RunCount() int { return j.runs }
+
 // Close flushes the buffer and returns the first write error, if any.
 func (j *JSONL) Close() error {
 	if j.err != nil {
@@ -130,15 +161,22 @@ func (j *JSONL) Close() error {
 	return j.w.Flush()
 }
 
-// ReadJSONL parses a metrics JSONL stream back into samples, spans and
-// fault events (the inverse of the JSONL sink, for tests and offline
-// analysis). Lines with an unknown "t" are an error: the schema is
-// versioned by its three line types.
-func ReadJSONL(r io.Reader) ([]StepSample, []Span, []Event, error) {
+// Records holds every record of a parsed metrics JSONL stream, grouped by
+// line type.
+type Records struct {
+	Steps  []StepSample
+	Spans  []Span
+	Events []Event
+	Runs   []RunSummary
+}
+
+// ReadJSONLRecords parses a metrics JSONL stream back into its records
+// (the inverse of the JSONL sink, for tests and offline analysis). Lines
+// with an unknown "t" are an error: the schema is versioned by its line
+// types.
+func ReadJSONLRecords(r io.Reader) (Records, error) {
 	dec := json.NewDecoder(r)
-	var steps []StepSample
-	var spans []Span
-	var events []Event
+	var rec Records
 	for dec.More() {
 		var raw struct {
 			T string `json:"t"`
@@ -146,33 +184,51 @@ func ReadJSONL(r io.Reader) ([]StepSample, []Span, []Event, error) {
 		// Decode twice: once for the discriminator, once for the payload.
 		var payload json.RawMessage
 		if err := dec.Decode(&payload); err != nil {
-			return nil, nil, nil, fmt.Errorf("obs: %w", err)
+			return Records{}, fmt.Errorf("obs: %w", err)
 		}
 		if err := json.Unmarshal(payload, &raw); err != nil {
-			return nil, nil, nil, fmt.Errorf("obs: %w", err)
+			return Records{}, fmt.Errorf("obs: %w", err)
 		}
 		switch raw.T {
 		case LineStep:
 			var s StepSample
 			if err := json.Unmarshal(payload, &s); err != nil {
-				return nil, nil, nil, fmt.Errorf("obs: step line: %w", err)
+				return Records{}, fmt.Errorf("obs: step line: %w", err)
 			}
-			steps = append(steps, s)
+			rec.Steps = append(rec.Steps, s)
 		case LineSpan:
 			var sp Span
 			if err := json.Unmarshal(payload, &sp); err != nil {
-				return nil, nil, nil, fmt.Errorf("obs: span line: %w", err)
+				return Records{}, fmt.Errorf("obs: span line: %w", err)
 			}
-			spans = append(spans, sp)
+			rec.Spans = append(rec.Spans, sp)
 		case LineFault:
 			var e Event
 			if err := json.Unmarshal(payload, &e); err != nil {
-				return nil, nil, nil, fmt.Errorf("obs: fault line: %w", err)
+				return Records{}, fmt.Errorf("obs: fault line: %w", err)
 			}
-			events = append(events, e)
+			rec.Events = append(rec.Events, e)
+		case LineRun:
+			var ru RunSummary
+			if err := json.Unmarshal(payload, &ru); err != nil {
+				return Records{}, fmt.Errorf("obs: run line: %w", err)
+			}
+			rec.Runs = append(rec.Runs, ru)
 		default:
-			return nil, nil, nil, fmt.Errorf("obs: unknown line type %q", raw.T)
+			return Records{}, fmt.Errorf("obs: unknown line type %q", raw.T)
 		}
 	}
-	return steps, spans, events, nil
+	return rec, nil
+}
+
+// ReadJSONL parses a metrics JSONL stream back into samples, spans and
+// fault events — the legacy three-slice view of ReadJSONLRecords, kept
+// for callers that predate run-summary lines (which it accepts and
+// discards).
+func ReadJSONL(r io.Reader) ([]StepSample, []Span, []Event, error) {
+	rec, err := ReadJSONLRecords(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rec.Steps, rec.Spans, rec.Events, nil
 }

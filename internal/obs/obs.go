@@ -163,6 +163,27 @@ type Event struct {
 	Detail string `json:"msg,omitempty"`
 }
 
+// RunSummary is the terminal record of an analyzed run: the workload's
+// congestion C and dilation D (see internal/analysis and
+// docs/ANALYSIS.md) and the achieved makespan, from which CDRatio =
+// makespan/(C+D) is the theory-grounded efficiency of the run. The
+// scenario runner emits exactly one RunSummary per run that has the
+// analysis knob on; analysis-off runs emit none, so pre-analysis metrics
+// streams are byte-identical.
+type RunSummary struct {
+	// Scenario is the spec name, when the run had one.
+	Scenario string `json:"scenario,omitempty"`
+	// Router is the routing algorithm's name.
+	Router string `json:"router,omitempty"`
+	// Makespan is the delivery step of the last packet.
+	Makespan int `json:"makespan"`
+	// Congestion and Dilation are the analyzed C and D.
+	Congestion int `json:"congestion"`
+	Dilation   int `json:"dilation"`
+	// CDRatio is Makespan/(Congestion+Dilation) (0 for an empty workload).
+	CDRatio float64 `json:"cd_ratio"`
+}
+
 // Sink receives metrics. Implementations must tolerate being called once
 // per engine step on hot loops; producers guard calls with a nil check so
 // a nil Sink costs nothing.
@@ -182,6 +203,15 @@ type EventSink interface {
 	Event(e Event)
 }
 
+// RunSink is the optional extension of Sink for terminal run summaries
+// (emitted once per analyzed run by the scenario runner). Producers check
+// for it with a type assertion, like EventSink; Memory, JSONL, Counters
+// and Multi all implement it.
+type RunSink interface {
+	// Run records one analyzed run's terminal summary.
+	Run(r RunSummary)
+}
+
 // Memory is a Sink that accumulates everything in memory — the natural
 // sink for tests and for in-process aggregation.
 type Memory struct {
@@ -191,6 +221,8 @@ type Memory struct {
 	Spans []Span
 	// Events holds every recorded fault/watchdog event in emission order.
 	Events []Event
+	// Runs holds every recorded run summary in emission order.
+	Runs []RunSummary
 }
 
 // Step appends the sample.
@@ -201,6 +233,9 @@ func (m *Memory) Span(sp Span) { m.Spans = append(m.Spans, sp) }
 
 // Event appends the event.
 func (m *Memory) Event(e Event) { m.Events = append(m.Events, e) }
+
+// Run appends the run summary.
+func (m *Memory) Run(r RunSummary) { m.Runs = append(m.Runs, r) }
 
 // DeliveryCurve returns the cumulative deliveries per recorded step.
 func (m *Memory) DeliveryCurve() []int {
@@ -266,6 +301,15 @@ func (m Multi) Event(e Event) {
 	for _, sink := range m {
 		if es, ok := sink.(EventSink); ok {
 			es.Event(e)
+		}
+	}
+}
+
+// Run forwards the run summary to every member that implements RunSink.
+func (m Multi) Run(r RunSummary) {
+	for _, sink := range m {
+		if rs, ok := sink.(RunSink); ok {
+			rs.Run(r)
 		}
 	}
 }

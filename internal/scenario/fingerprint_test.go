@@ -83,6 +83,7 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 		"watchdog":       func() *Spec { s := baseSpec(); s.Watchdog = 500; return s }(),
 		"workers":        func() *Spec { s := baseSpec(); s.Workers = 2; return s }(),
 		"invariants off": func() *Spec { s := baseSpec(); s.CheckInvariants = Bool(false); return s }(),
+		"analysis on":    func() *Spec { s := baseSpec(); s.Analysis = true; return s }(),
 		"faults attached": func() *Spec {
 			s := baseSpec()
 			s.Faults = &Faults{Seed: 1, Horizon: 10, LinkFailures: 1, MeanDownSteps: 5}
@@ -108,6 +109,20 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 			t.Errorf("%s: fingerprint collides with %s", name, prev)
 		}
 		seen[fp] = name
+	}
+}
+
+// TestFingerprintAnalysisOffStable pins the base spec's fingerprint to the
+// value it hashed to before the analysis knob existed. The knob is
+// omitempty, so analysis-off specs canonicalize to the same JSON as ever —
+// cache keys minted by older builds (internal/service dedupes on the
+// fingerprint) stay valid across the upgrade. If this literal ever has to
+// change, every cached result keyed by an old fingerprint is orphaned;
+// that is a breaking change, not a test update.
+func TestFingerprintAnalysisOffStable(t *testing.T) {
+	const pinned = "ab36453f4a36bc3fc395a99bc05aba428856a8ffc4fc3b6562378fe1ddb9ca0d"
+	if fp := fingerprint(t, baseSpec()); fp != pinned {
+		t.Fatalf("analysis-off fingerprint drifted:\n got %s\nwant %s", fp, pinned)
 	}
 }
 

@@ -155,6 +155,27 @@ func (r *Runner) RunBuilt(ctx context.Context, run *Run) (*Result, error) {
 		qs := stats.Quantiles(delays, 0.50, 0.95, 0.99)
 		st.DelayP50, st.DelayP95, st.DelayP99 = qs[0], qs[1], qs[2]
 	}
+	if run.Analysis != nil {
+		ar := run.Analysis()
+		st := &res.Stats
+		st.Analyzed = true
+		st.Congestion, st.Dilation = ar.Congestion, ar.Dilation
+		st.CDRatio = ar.Ratio(st.Makespan)
+		summary := obs.RunSummary{
+			Scenario:   s.Name,
+			Router:     s.Router,
+			Makespan:   st.Makespan,
+			Congestion: ar.Congestion,
+			Dilation:   ar.Dilation,
+			CDRatio:    st.CDRatio,
+		}
+		if sink != nil {
+			sink.Run(summary)
+		}
+		if rs, ok := r.Sink.(obs.RunSink); ok {
+			rs.Run(summary)
+		}
+	}
 
 	if rec != nil {
 		if err := rec.Close(); err != nil {

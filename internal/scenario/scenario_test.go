@@ -173,6 +173,14 @@ func TestValidate(t *testing.T) {
 		{"drain on static kind", func(s *Spec) { s.Workload.Drain = true }, "workload.drain"},
 		{"burst knob on static kind", func(s *Spec) { s.Workload.Burst = 2 }, "workload.burst"},
 		{"hotspots on static kind", func(s *Spec) { s.Workload.Hotspots = 1 }, "workload.hotspots"},
+		{"offline router on dynamic workload", func(s *Spec) {
+			s.Router = "scheduled"
+			s.Workload = Workload{Kind: KindBurst, Horizon: 40}
+		}, "router"},
+		{"offline router on per-inlink queues", func(s *Spec) {
+			s.Router = "scheduled"
+			s.Queues = QueuesPerInlink
+		}, "queues"},
 		{"negative watchdog", func(s *Spec) { s.Watchdog = -1 }, "watchdog"},
 		{"negative workers", func(s *Spec) { s.Workers = -2 }, "workers"},
 		{"negative budget", func(s *Spec) { s.MaxSteps = -5 }, "max_steps"},

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"meshroute"
+	"meshroute/internal/analysis"
 	"meshroute/internal/fault"
 	"meshroute/internal/grid"
 	"meshroute/internal/sim"
@@ -191,6 +192,14 @@ type Spec struct {
 	CheckInvariants *bool `json:"check_invariants,omitempty"`
 	// Workload is the routing instance.
 	Workload Workload `json:"workload"`
+	// Analysis computes the workload's congestion C and dilation D (the
+	// Rothvoß C+D yardstick, see docs/ANALYSIS.md) and reports the
+	// efficiency ratio makespan/(C+D) in the run's stats and metrics
+	// JSONL. Static workloads analyze their path system at build time;
+	// dynamic workloads accrue C/D at admission time. Off by default —
+	// analysis-off runs pay one nil check per admission and fingerprint
+	// identically to specs predating the knob.
+	Analysis bool `json:"analysis,omitempty"`
 	// Faults, when non-nil, generates a seeded fault schedule for the run.
 	Faults *Faults `json:"faults,omitempty"`
 	// Watchdog is the livelock no-progress window in steps (0 = off).
@@ -268,6 +277,9 @@ func (s *Spec) Validate() error {
 		}
 	default:
 		return invalid("queues", "unknown queue model %q (want %q or %q)", s.Queues, QueuesCentral, QueuesPerInlink)
+	}
+	if rspec.Offline && s.Workload.Dynamic() {
+		return invalid("router", "router %q is offline (precomputes its schedule before step 1) and cannot run the dynamic workload kind %q", s.Router, s.Workload.Kind)
 	}
 	if s.Watchdog < 0 {
 		return invalid("watchdog", "negative window %d", s.Watchdog)
@@ -400,6 +412,12 @@ type Run struct {
 	Exact bool
 	// Faults is the generated fault schedule, or nil.
 	Faults *fault.Schedule
+	// Analysis, when the spec set "analysis": true, yields the workload's
+	// congestion/dilation: for static workloads it closes over the path
+	// system analyzed at build time, for dynamic workloads over the
+	// admission-time accumulator installed on Net (read it only after the
+	// run). Nil when analysis is off.
+	Analysis func() analysis.Result
 }
 
 // Build validates the Spec, resolves the router registry, generates the
@@ -437,7 +455,7 @@ func (s *Spec) Build() (*Run, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.describe(), err)
 	}
-	budget, err := s.applyWorkload(net, topo)
+	budget, analyze, err := s.applyWorkload(net, topo)
 	if err != nil {
 		return nil, err
 	}
@@ -450,12 +468,13 @@ func (s *Spec) Build() (*Run, error) {
 		newAlg = rspec.NewFaultAware
 	}
 	return &Run{
-		Spec:   s,
-		Net:    net,
-		NewAlg: newAlg,
-		Budget: budget,
-		Exact:  s.Workload.Dynamic() && !s.Workload.Drain,
-		Faults: sched,
+		Spec:     s,
+		Net:      net,
+		NewAlg:   newAlg,
+		Budget:   budget,
+		Exact:    s.Workload.Dynamic() && !s.Workload.Drain,
+		Faults:   sched,
+		Analysis: analyze,
 	}, nil
 }
 
@@ -480,9 +499,19 @@ func (s *Spec) StepBudget() int {
 }
 
 // applyWorkload places or schedules the Spec's workload and returns the
-// run's step budget.
-func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, error) {
+// run's step budget and, when the analysis knob is on, the function
+// yielding the workload's congestion/dilation (see Run.Analysis).
+func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, func() analysis.Result, error) {
 	w := s.Workload
+	// Dynamic workloads accrue C/D at admission time: the accumulator
+	// must be installed before AttachSource, whose step-0 injections
+	// already count.
+	var analyze func() analysis.Result
+	if s.Analysis && w.Dynamic() {
+		acc := analysis.NewAccumulator(topo)
+		net.SetAnalyzer(acc)
+		analyze = acc.Result
+	}
 	var perm *workload.Permutation
 	switch w.Kind {
 	case KindRandom:
@@ -510,17 +539,17 @@ func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, error) 
 		// lazily through the Source contract (bit-identical to the old
 		// pre-scheduled QueueInjection loop).
 		if err := net.AttachSource(workload.NewBurst(s.N*s.N, w.Horizon), sim.AdmitRetry); err != nil {
-			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
+			return 0, nil, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
 		}
-		return s.StepBudget(), nil
+		return s.StepBudget(), analyze, nil
 	case KindBernoulli:
 		// Each node sources a packet with probability Rate per step,
 		// uniform destination; the stream is pinned by the seed under the
 		// Source contract, so the run is exactly reproducible.
 		if err := net.AttachSource(workload.NewBernoulli(s.N*s.N, w.Rate, w.Horizon, w.Seed), sim.AdmitRetry); err != nil {
-			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
+			return 0, nil, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
 		}
-		return s.StepBudget(), nil
+		return s.StepBudget(), analyze, nil
 	case KindOnline:
 		w.ApplyOnlineDefaults()
 		var src workload.Source
@@ -534,23 +563,33 @@ func (s *Spec) applyWorkload(net *sim.Network, topo grid.Topology) (int, error) 
 		case ProcessTranspose:
 			src = workload.NewTransposeStream(topo, w.Rate, w.Horizon, w.Seed)
 		default:
-			return 0, invalid("workload.process", "unknown arrival process %q", w.Process)
+			return 0, nil, invalid("workload.process", "unknown arrival process %q", w.Process)
 		}
 		policy := sim.AdmitRetry
 		if w.Admission == AdmissionDrop {
 			policy = sim.AdmitDrop
 		}
 		if err := net.AttachSource(src, policy); err != nil {
-			return 0, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
+			return 0, nil, fmt.Errorf("scenario %s: attach workload: %w", s.describe(), err)
 		}
-		return s.StepBudget(), nil
+		return s.StepBudget(), analyze, nil
 	default:
-		return 0, invalid("workload.kind", "unknown workload kind %q", w.Kind)
+		return 0, nil, invalid("workload.kind", "unknown workload kind %q", w.Kind)
 	}
 	if err := perm.Place(net); err != nil {
-		return 0, fmt.Errorf("scenario %s: place workload: %w", s.describe(), err)
+		return 0, nil, fmt.Errorf("scenario %s: place workload: %w", s.describe(), err)
 	}
-	return s.StepBudget(), nil
+	// Static workloads are analyzed exactly: the whole demand set is known
+	// up front, so the path system (canonical plus the greedy improvement
+	// pass) is built once here and its C/D read out lazily.
+	if s.Analysis {
+		demands := make([]analysis.Demand, len(perm.Pairs))
+		for i, pr := range perm.Pairs {
+			demands[i] = analysis.Demand{Src: pr.Src, Dst: pr.Dst}
+		}
+		analyze = analysis.Analyze(topo, demands).Result
+	}
+	return s.StepBudget(), analyze, nil
 }
 
 // describe labels the spec in error messages.

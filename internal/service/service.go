@@ -342,15 +342,18 @@ func (s *Server) runRemote(j *job) bool {
 		j.stream.appendRaw(line)
 	}
 	j.stream.addDropped(res.EventsDropped)
-	if steps, spans, events, err := obs.ReadJSONL(bytes.NewReader(bytes.Join(res.Events, nil))); err == nil {
-		for _, sample := range steps {
+	if rec, err := obs.ReadJSONLRecords(bytes.NewReader(bytes.Join(res.Events, nil))); err == nil {
+		for _, sample := range rec.Steps {
 			s.counters.Step(sample)
 		}
-		for _, sp := range spans {
+		for _, sp := range rec.Spans {
 			s.counters.Span(sp)
 		}
-		for _, e := range events {
+		for _, e := range rec.Events {
 			s.counters.Event(e)
+		}
+		for _, ru := range rec.Runs {
+			s.counters.Run(ru)
 		}
 	}
 	st := res.Stats
@@ -804,6 +807,12 @@ type EngineMetrics struct {
 	AdmittedTotal int64   `json:"admitted_total"`
 	RefusedTotal  int64   `json:"refused_total"`
 	RefusalRate   float64 `json:"refusal_rate"`
+	// Congestion/dilation efficiency across every analyzed job (0 while
+	// only analysis-off jobs have run): the number of analyzed runs and
+	// the aggregate makespan/(C+D) ratio, weighted by each run's C+D
+	// (see docs/ANALYSIS.md).
+	AnalyzedRuns int64   `json:"analyzed_runs"`
+	CDRatio      float64 `json:"cd_ratio"`
 }
 
 // handleMetrics is GET /metrics.
@@ -844,6 +853,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		OfferedTotal:     s.counters.Offered(),
 		AdmittedTotal:    s.counters.Admitted(),
 		RefusedTotal:     s.counters.Refused(),
+		AnalyzedRuns:     s.counters.Runs(),
+		CDRatio:          s.counters.CDRatio(),
 	}
 	if uptime > 0 {
 		m.Engine.StepsPerSec = float64(m.Engine.StepsTotal) / uptime

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"meshroute/internal/analysis"
 	"meshroute/internal/grid"
 )
 
@@ -131,6 +132,67 @@ func BenchmarkStepOnline(b *testing.B) {
 	}
 }
 
+// BenchmarkStepOnlineAnalyzed is the StepOnline cell with the C/D
+// accumulator (internal/analysis) attached as the admission-time
+// analyzer. The accumulator's Admit walks the canonical path of every
+// admitted packet but never allocates, so these cells hold the same
+// 0 B/op / 0 allocs/op contract as the analyzer-off matrix — benchgate
+// gates both, which pins that analysis stays pay-for-play in CPU only.
+func BenchmarkStepOnlineAnalyzed(b *testing.B) {
+	const n = 64
+	const epoch = 1024
+	build := func(workers int) *Network {
+		net := onlineAnalyzedNet(b, n, workers, epoch)
+		return net
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("n%d/w%d", n, workers), func(b *testing.B) {
+			net := build(workers)
+			left := epoch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if left == 0 {
+					b.StopTimer()
+					net = build(workers)
+					left = epoch
+					b.StartTimer()
+				}
+				if err := net.StepOnce(onlineXY{}); err != nil {
+					b.Fatal(err)
+				}
+				left--
+			}
+		})
+	}
+}
+
+// onlineAnalyzedNet is onlineStreamNet with a C/D accumulator installed
+// before the source attaches (the same ordering the scenario layer uses,
+// so step-0 and warm-up injections are counted).
+func onlineAnalyzedNet(tb testing.TB, n, workers, steps int) *Network {
+	net := MustNew(Config{
+		Topo:    grid.NewSquareMesh(n),
+		K:       4,
+		Queues:  CentralQueue,
+		Workers: workers,
+	})
+	net.SetAnalyzer(analysis.NewAccumulator(net.Topo))
+	warm := 3 * n
+	perStep := n*n/149 + 1
+	net.ReserveInjections((steps + warm + 2) * perStep)
+	if err := net.AttachSource(&streamSource{nn: n * n}, AdmitRetry); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		if err := net.StepOnce(onlineXY{}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return net
+}
+
 // TestOnlineSteadyStateStepAllocs pins the tentpole's zero-alloc
 // requirement directly: after warm-up, a steady-state engine step under
 // continuous streaming injection — source pull, admission, backlog drain
@@ -149,6 +211,35 @@ func TestOnlineSteadyStateStepAllocs(t *testing.T) {
 			})
 			if avg != 0 {
 				t.Fatalf("steady-state online step allocates %v times (workers=%d), want 0", avg, workers)
+			}
+		})
+	}
+}
+
+// TestAnalyzedSteadyStateStepAllocs pins that attaching the C/D
+// accumulator keeps the steady-state online step at zero heap
+// allocations (analysis is pay-for-play in CPU, never in allocations),
+// and that the accumulator actually accrued a result over the warm-up.
+func TestAnalyzedSteadyStateStepAllocs(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			const runs = 10
+			net := onlineAnalyzedNet(t, 64, workers, runs+2)
+			avg := testing.AllocsPerRun(runs, func() {
+				if err := net.StepOnce(onlineXY{}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("analyzed steady-state step allocates %v times (workers=%d), want 0", avg, workers)
+			}
+			acc, ok := net.analyzer.(*analysis.Accumulator)
+			if !ok {
+				t.Fatalf("analyzer is %T, want *analysis.Accumulator", net.analyzer)
+			}
+			if r := acc.Result(); r.Congestion <= 0 || r.Dilation <= 0 {
+				t.Fatalf("accumulator accrued nothing: C=%d D=%d", r.Congestion, r.Dilation)
 			}
 		})
 	}

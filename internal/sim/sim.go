@@ -407,6 +407,12 @@ type Network struct {
 	openSource   bool // source injects beyond step 0 (an online run)
 	injBuf       []Injection
 
+	// analyzer, when non-nil, observes every packet that materializes in
+	// the run (placements, queued injections, admitted streamed
+	// injections) so congestion/dilation accrue at admission time. Nil
+	// when analysis is off: the hook is one pointer test per admission.
+	analyzer Analyzer
+
 	// Per-step admission counters, reset at the top of the injection
 	// phase and folded into Metrics / the step sample at its end.
 	stepOffered  int
@@ -699,6 +705,21 @@ func (net *Network) emitEvent(e obs.Event) {
 	}
 }
 
+// Analyzer observes every packet that materializes in a run, at the
+// moment it is admitted (placed, queued for injection, or streamed in).
+// internal/analysis.Accumulator implements it to accrue congestion and
+// dilation incrementally; the engine itself never imports the analysis
+// package. Implementations must not allocate if the run is to stay
+// zero-alloc, and must not retain references into the network.
+type Analyzer interface {
+	Admit(src, dst grid.NodeID)
+}
+
+// SetAnalyzer installs (or, with nil, removes) the admission-time
+// analyzer. It must be called before any packet is admitted; with no
+// analyzer installed the admission paths pay one nil test.
+func (net *Network) SetAnalyzer(a Analyzer) { net.analyzer = a }
+
 // NewPacket allocates a packet with the next free index, routed from src to
 // dst, in the network's struct-of-arrays store. The packet is not placed;
 // use Place or QueueInjection. The returned PacketID is stable for the life
@@ -715,6 +736,9 @@ func (net *Network) Place(p PacketID) error {
 		return errors.New("sim: Place after run started")
 	}
 	st := &net.P
+	if net.analyzer != nil {
+		net.analyzer.Admit(st.Src[p], st.Dst[p])
+	}
 	net.placed = append(net.placed, p)
 	net.total++
 	st.At[p] = st.Src[p]
@@ -754,6 +778,9 @@ func (net *Network) QueueInjection(p PacketID, step int) {
 		step = 1
 	}
 	st := &net.P
+	if net.analyzer != nil {
+		net.analyzer.Admit(st.Src[p], st.Dst[p])
+	}
 	st.At[p] = st.Src[p]
 	net.placed = append(net.placed, p)
 	net.total++

@@ -142,6 +142,9 @@ func (net *Network) ReserveInjections(n int) {
 // as a QueueInjection packet would.
 func (net *Network) sourcePacket(inj Injection) PacketID {
 	p := net.P.add(inj.Src, inj.Dst)
+	if net.analyzer != nil {
+		net.analyzer.Admit(inj.Src, inj.Dst)
+	}
 	net.placed = append(net.placed, p)
 	net.total++
 	return p

@@ -166,6 +166,21 @@ type RouteStats struct {
 	// DelayP50, DelayP95 and DelayP99 are time-in-system percentiles
 	// (delivery step minus injection step) over delivered packets.
 	DelayP50, DelayP95, DelayP99 float64
+
+	// Efficiency block (scenario knob "analysis": true). Analyzed reports
+	// that the run computed its congestion+dilation yardstick; the fields
+	// below stay zero otherwise. Congestion is the maximum number of
+	// minimal paths sharing one directed edge in the analyzed path system
+	// (static workloads: canonical dimension-order plus a greedy
+	// congestion-lowering pass; online workloads: canonical paths accrued
+	// at admission time), Dilation the longest path length, and CDRatio
+	// the theory-grounded efficiency ratio Makespan/(C+D) — Θ(1) for any
+	// near-optimal schedule by Rothvoß's O(congestion+dilation) bound.
+	Analyzed bool
+	// Congestion and Dilation are the analyzed C and D.
+	Congestion, Dilation int
+	// CDRatio is Makespan/(Congestion+Dilation), 0 for an empty workload.
+	CDRatio float64
 }
 
 // RefusalRate returns Refused/(Admitted+Refused), the fraction of

@@ -34,6 +34,11 @@ const (
 	// given its seed (0 by default; set RouteOptions.Seed or a scenario
 	// Spec's seed for other streams), but outside the Theorem 14 model.
 	RouterRandZigZag = "rand-zigzag"
+	// RouterScheduled is the offline path-scheduled O(C+D) baseline:
+	// precomputes the internal/analysis minimal path system, delays each
+	// packet by a seeded random amount in [0, C), then replays the
+	// schedule deterministically. Offline — static workloads only.
+	RouterScheduled = "scheduled"
 	// RouterStray is the Section 5 "Nonminimal extensions" router:
 	// dimension order that may overshoot its turning column by up to
 	// δ = 1 columns when blocked (destination-exchangeable, bounded
@@ -52,6 +57,10 @@ type RouterSpec struct {
 	DestinationExchangeable bool
 	// Minimal reports whether the router uses only shortest paths.
 	Minimal bool
+	// Offline reports that the router must see the whole instance before
+	// step 1 (it precomputes a global schedule), so it supports static
+	// workloads only; the scenario layer rejects dynamic workloads for it.
+	Offline bool
 	// Queues is the queue model the router requires.
 	Queues sim.QueueModel
 	// New creates a fresh instance for one run.
@@ -122,6 +131,21 @@ var registry = map[string]RouterSpec{
 		NewFaultAware:           func() sim.Algorithm { return routers.RandZigZag{Seed: 0, FaultAware: true} },
 		NewSeeded: func(seed uint64, faultAware bool) sim.Algorithm {
 			return routers.RandZigZag{Seed: seed, FaultAware: faultAware}
+		},
+		Config: func(topo Topology, k int) sim.Config {
+			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
+		},
+	},
+	RouterScheduled: {
+		Name:                    RouterScheduled,
+		Summary:                 "offline path-scheduled O(C+D) baseline: random delays in [0,C) over the analysis path system",
+		DestinationExchangeable: false,
+		Minimal:                 true,
+		Offline:                 true,
+		Queues:                  sim.CentralQueue,
+		New:                     func() sim.Algorithm { return routers.NewScheduled(0) },
+		NewSeeded: func(seed uint64, faultAware bool) sim.Algorithm {
+			return routers.NewScheduled(seed)
 		},
 		Config: func(topo Topology, k int) sim.Config {
 			return sim.Config{Topo: topo, K: k, Queues: sim.CentralQueue, RequireMinimal: true, CheckInvariants: true}
